@@ -1,0 +1,68 @@
+"""Figure 12 — contribution of the two main mechanisms.
+
+Paper: OADL contributes a 4.41x average speedup (71.38% of the total
+gain); ADSC contributes 2.48x (28.62%).
+"""
+
+from repro.accel import TaGNNConfig, TaGNNSimulator
+from repro.bench import (
+    GRID_DATASETS,
+    GRID_MODELS,
+    geomean,
+    get_graph,
+    get_model,
+    get_workload,
+    render_table,
+    save_result,
+)
+
+
+def _simulate(m, d, cfg):
+    return TaGNNSimulator(cfg).simulate(
+        get_model(m, d), get_graph(d), d,
+        workload=get_workload(m, d, cfg.window_size),
+    )
+
+
+def build_fig12():
+    rows = []
+    for m in GRID_MODELS:
+        for d in GRID_DATASETS:
+            full = _simulate(m, d, TaGNNConfig())
+            wo_oadl = _simulate(m, d, TaGNNConfig().ablated(oadl=False))
+            wo_adsc = _simulate(m, d, TaGNNConfig().ablated(adsc=False))
+            rows.append(
+                [
+                    m,
+                    d,
+                    wo_oadl.seconds / full.seconds,  # OADL gain
+                    wo_adsc.seconds / full.seconds,  # ADSC gain
+                ]
+            )
+    return rows
+
+
+def test_fig12_ablation(benchmark):
+    rows = benchmark.pedantic(build_fig12, rounds=1, iterations=1)
+    oadl_gain = geomean([r[2] for r in rows])
+    adsc_gain = geomean([r[3] for r in rows])
+    import math
+
+    oadl_share = 100 * math.log(oadl_gain) / (
+        math.log(oadl_gain) + math.log(adsc_gain)
+    )
+    text = render_table(
+        f"Fig 12: mechanism ablations — OADL {oadl_gain:.2f}x "
+        f"({oadl_share:.1f}% of gains), ADSC {adsc_gain:.2f}x",
+        ["Model", "Dataset", "WO/OADL slowdown", "WO/ADSC slowdown"],
+        rows,
+    )
+    save_result("fig12_ablation", text)
+
+    # paper: OADL 4.41x, ADSC 2.48x; OADL is the larger contributor
+    assert 2.5 < oadl_gain < 8.0, oadl_gain
+    assert 1.3 < adsc_gain < 4.5, adsc_gain
+    assert oadl_gain > adsc_gain
+    assert 55 < oadl_share < 85  # paper: 71.38%
+    for r in rows:
+        assert r[2] > 1.0 and r[3] > 1.0  # both mechanisms always help

@@ -1,0 +1,166 @@
+"""Figure 13 — architecture analysis.
+
+(a) performance-gain breakdown across the three architectural components
+    (paper: MSDL+DCU 53.6%, Task Dispatcher 13.8%, Adaptive RNN Unit
+    32.6% of the total improvement), measured by ablating each;
+(b) O-CSR against per-snapshot CSR and PMA: end-to-end execution-time
+    factors (paper: 2.3-3.4x vs CSR, 1.8-2.5x vs PMA) and redundant-
+    storage reduction (73.5-82.4% and 53.2-61.8% for 4 snapshots).
+"""
+
+import math
+
+import numpy as np
+
+from repro.accel import TaGNNConfig, TaGNNSimulator
+from repro.analysis import extract_affected_subgraph
+from repro.bench import (
+    GRID_DATASETS,
+    geomean,
+    get_graph,
+    get_model,
+    get_workload,
+    render_table,
+    save_result,
+)
+from repro.formats import (
+    OCSRStorage,
+    PMAStorage,
+    SnapshotCSRStorage,
+    WindowSelection,
+)
+
+
+def _simulate(m, d, cfg):
+    return TaGNNSimulator(cfg).simulate(
+        get_model(m, d), get_graph(d), d,
+        workload=get_workload(m, d, cfg.window_size),
+    )
+
+
+def build_fig13a():
+    """Ablate each component on T-GCN; attribute log-gains."""
+    rows = []
+    for d in GRID_DATASETS:
+        full = _simulate("T-GCN", d, TaGNNConfig()).seconds
+        wo_msdl_dcu = _simulate(
+            "T-GCN", d, TaGNNConfig().ablated(oadl=False, pipeline_overlap=False)
+        ).seconds
+        wo_dispatch = _simulate(
+            "T-GCN", d, TaGNNConfig().ablated(dispatcher=False)
+        ).seconds
+        wo_aru = _simulate("T-GCN", d, TaGNNConfig().ablated(adsc=False)).seconds
+        gains = {
+            "MSDL+DCU": wo_msdl_dcu / full,
+            "Dispatcher": wo_dispatch / full,
+            "ARU": wo_aru / full,
+        }
+        logsum = sum(math.log(v) for v in gains.values())
+        rows.append(
+            [d]
+            + [gains[k] for k in ("MSDL+DCU", "Dispatcher", "ARU")]
+            + [100 * math.log(gains[k]) / logsum for k in ("MSDL+DCU", "Dispatcher", "ARU")]
+        )
+    return rows
+
+
+def test_fig13a_component_breakdown(benchmark):
+    rows = benchmark.pedantic(build_fig13a, rounds=1, iterations=1)
+    text = render_table(
+        "Fig 13(a): component gains (x) and share of total improvement (%)",
+        ["Dataset", "MSDL+DCU x", "Dispatcher x", "ARU x",
+         "MSDL+DCU %", "Dispatcher %", "ARU %"],
+        rows,
+    )
+    save_result("fig13a_architecture", text)
+    shares = np.array([r[4:7] for r in rows]).mean(axis=0)
+    # paper shares: 53.6 / 13.8 / 32.6 — require the ordering and rough
+    # magnitudes
+    assert shares[0] > shares[2] > shares[1], shares
+    assert 35 < shares[0] < 75, shares
+    assert 4 < shares[1] < 30, shares
+    assert 15 < shares[2] < 50, shares
+
+
+def build_fig13b():
+    from repro.bench import get_tagnn_report
+    from repro.graphs import load_dataset
+
+    # loader pricing consistent with the simulator's HBM model:
+    # independent gathers (CSR rows, O-CSR runs) amortise the 45 ns DRAM
+    # latency over ~72 in-flight requests (0.14 cycles each); the PMA's
+    # segment search is a *dependent* pointer chase and sustains far
+    # fewer (0.35 cycles each); streams run at the full HBM rate
+    # (284 words/cycle at 225 MHz).
+    LAT_INDEPENDENT, LAT_DEPENDENT, WPC = 0.14, 0.35, 284.0
+
+    def loader_cycles(fmt):
+        c = fmt.scan_cost()
+        lat = LAT_DEPENDENT if fmt.name == "PMA" else LAT_INDEPENDENT
+        return c.random_accesses * lat + c.sequential_words / WPC
+
+    rows = []
+    for d in GRID_DATASETS:
+        # --- execution time: the format changes only the loading path;
+        # compute (DCU/ARU/MSDL) is unchanged and loading overlaps it in
+        # dataflow style, so per-window time is max(scan, compute) + fill
+        g = get_graph(d)
+        window = g.window(0, 4)
+        sel = WindowSelection(window, extract_affected_subgraph(window).vertices)
+        rep = get_tagnn_report("T-GCN", d)
+        n_windows = max(rep.metrics.windows_processed, 1)
+        compute = max(
+            rep.breakdown["dcu"], rep.breakdown["aru"], rep.breakdown["msdl"]
+        ) / n_windows
+        t = {
+            f.name: max(loader_cycles(f), compute)
+            + rep.breakdown["fill"] / n_windows
+            for f in (
+                SnapshotCSRStorage(sel), OCSRStorage(sel), PMAStorage(sel)
+            )
+        }
+
+        # --- storage: feature-dominated at production scale (the real
+        # datasets carry 162-500-dim features), so measure the redundant
+        # storage at a paper-scale feature width
+        g_wide = load_dataset(d, num_snapshots=4, dim=160)
+        w_wide = g_wide.window(0, 4)
+        sel_w = WindowSelection(
+            w_wide, extract_affected_subgraph(w_wide).vertices
+        )
+        csr_w = SnapshotCSRStorage(sel_w)
+        ocsr_w = OCSRStorage(sel_w)
+        pma_w = PMAStorage(sel_w)
+        minimal = ocsr_w.feature_table.nbytes + ocsr_w.tindex.size * 4
+        red = {
+            f.name: max(f.storage_bytes() - minimal, 1)
+            for f in (csr_w, ocsr_w, pma_w)
+        }
+        rows.append(
+            [
+                d,
+                t["CSR"] / t["O-CSR"],
+                t["PMA"] / t["O-CSR"],
+                100 * (1 - red["O-CSR"] / red["CSR"]),
+                100 * (1 - red["O-CSR"] / red["PMA"]),
+            ]
+        )
+    return rows
+
+
+def test_fig13b_ocsr_vs_formats(benchmark):
+    rows = benchmark.pedantic(build_fig13b, rounds=1, iterations=1)
+    text = render_table(
+        "Fig 13(b): O-CSR vs CSR/PMA — time factors and redundant-storage "
+        "reduction (4 snapshots, affected subgraph)",
+        ["Dataset", "CSR/O-CSR time", "PMA/O-CSR time",
+         "storage red. vs CSR %", "storage red. vs PMA %"],
+        rows,
+    )
+    save_result("fig13b_formats", text)
+    for r in rows:
+        assert r[1] > r[2] > 1.0  # O-CSR fastest; PMA between
+        assert r[1] > 1.6  # paper: 2.3-3.4x vs CSR
+        assert r[3] > 45.0  # paper: 73.5-82.4% vs CSR
+        assert r[4] > 30.0  # paper: 53.2-61.8% vs PMA
+        assert r[3] > r[4]

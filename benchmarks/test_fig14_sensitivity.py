@@ -1,0 +1,151 @@
+"""Figure 14 — sensitivity studies (T-GCN).
+
+(a) thresholds [theta_s, theta_e]: performance/accuracy trade-off on FK
+    (paper: [-0.5, 0.5] is the sweet spot);
+(b) DCU count: performance peaks by 16 DCUs, then memory bandwidth
+    saturates;
+(c) snapshot-batch size on FK: best around 4 snapshots;
+(d) MAC count: performance levels off with more MACs (4,096 chosen).
+"""
+
+import numpy as np
+
+from repro.accel import TaGNNConfig, TaGNNSimulator
+from repro.bench import (
+    get_graph,
+    get_labels,
+    get_model,
+    get_reference,
+    get_workload,
+    render_table,
+    save_result,
+    series_chart,
+)
+from repro.engine import ConcurrentEngine
+from repro.models import evaluate_accuracy, fit_readout
+from repro.skipping import SkipThresholds
+
+
+def _simulate(m, d, cfg, engine_result=None):
+    return TaGNNSimulator(cfg).simulate(
+        get_model(m, d), get_graph(d), d,
+        engine_result=engine_result,
+        workload=get_workload(m, d, cfg.window_size),
+    )
+
+
+def build_fig14a():
+    d = "FK"
+    g = get_graph(d)
+    model = get_model("T-GCN", d)
+    labels = get_labels(d)
+    readout = fit_readout(get_reference("T-GCN", d).outputs, labels, g)
+    base_acc = evaluate_accuracy(
+        get_reference("T-GCN", d).outputs, labels, g, readout=readout
+    )
+    rows = []
+    for ts, te in [(-0.9, 0.9), (-0.5, 0.5), (-0.2, 0.2), (0.0, 0.9),
+                   (-0.9, 0.0), (0.5, 0.9), (1.0, 1.0)]:
+        engine = ConcurrentEngine(
+            model, window_size=4, thresholds=SkipThresholds(ts, te)
+        )
+        res = engine.run(g)
+        rep = _simulate("T-GCN", d, TaGNNConfig(), engine_result=res)
+        acc = evaluate_accuracy(res.outputs, labels, g, readout=readout)
+        rows.append(
+            [f"[{ts:+.1f},{te:+.1f}]", rep.seconds * 1e6, 100 * acc,
+             100 * (base_acc - acc), res.metrics.skip_ratio()]
+        )
+    return base_acc, rows
+
+
+def test_fig14a_thresholds(benchmark):
+    base_acc, rows = benchmark.pedantic(build_fig14a, rounds=1, iterations=1)
+    text = render_table(
+        f"Fig 14(a): [theta_s, theta_e] sensitivity — T-GCN on FK "
+        f"(baseline acc {100 * base_acc:.1f}%)",
+        ["thresholds", "time (us)", "accuracy %", "loss pp", "skip ratio"],
+        rows,
+    )
+    save_result("fig14a_thresholds", text)
+    by = {r[0]: r for r in rows}
+    default = by["[-0.5,+0.5]"]
+    never = by["[+1.0,+1.0]"]
+    aggressive = by["[-0.9,+0.0]"]
+    # skipping must actually buy time over never-skipping
+    assert default[1] < never[1]
+    # the default keeps accuracy within ~1.5 points
+    assert default[3] < 1.5
+    # more aggressive skipping saves at most a little more time but costs
+    # more accuracy — the paper's reason to stop at [-0.5, 0.5]
+    assert aggressive[4] >= default[4]
+    assert aggressive[3] >= default[3] - 0.2
+
+
+def build_fig14bcd():
+    m, d = "T-GCN", "FK"
+    dcus = [(n, _simulate(m, d, TaGNNConfig().with_dcus(n)).seconds * 1e6)
+            for n in (2, 4, 8, 16, 32)]
+    base_seconds = {}
+    windows = []
+    for k in (1, 2, 4, 6, 8):
+        cfg = TaGNNConfig().with_window(k)
+        rep = TaGNNSimulator(cfg).simulate(
+            get_model(m, d), get_graph(d), d,
+            workload=get_workload(m, d, k),
+        )
+        windows.append((k, rep.seconds * 1e6 / get_graph(d).num_snapshots))
+    macs = [(n, _simulate(m, d, TaGNNConfig().with_macs(n)).seconds * 1e6)
+            for n in (1024, 2048, 4096, 8192, 16384)]
+    return dcus, windows, macs
+
+
+def test_fig14bcd_scaling(benchmark):
+    dcus, windows, macs = benchmark.pedantic(
+        build_fig14bcd, rounds=1, iterations=1
+    )
+    text = (
+        render_table("Fig 14(b): #DCUs vs time (us), T-GCN/FK",
+                     ["DCUs", "time (us)"], dcus)
+        + series_chart("Fig 14(b) chart", [d[0] for d in dcus],
+                       [d[1] for d in dcus], ylabel="us")
+        + render_table("Fig 14(c): snapshots per batch vs time per snapshot (us)",
+                       ["window", "us/snapshot"], windows)
+        + series_chart("Fig 14(c) chart", [w[0] for w in windows],
+                       [w[1] for w in windows], ylabel="us/snapshot")
+        + render_table("Fig 14(d): #MACs vs time (us)",
+                       ["MACs", "time (us)"], macs)
+        + series_chart("Fig 14(d) chart", [m_[0] for m_ in macs],
+                       [m_[1] for m_ in macs], ylabel="us")
+    )
+    save_result("fig14bcd_scaling", text)
+
+    t_dcu = dict(dcus)
+    # performance improves up to 16 DCUs...
+    assert t_dcu[2] > t_dcu[4] > t_dcu[8] > t_dcu[16]
+    # ...with diminishing returns beyond (paper: memory bandwidth
+    # saturates; in our model the fixed MSDL/ARU pipelines take over)
+    gain_8_16 = (t_dcu[8] - t_dcu[16]) / t_dcu[8]
+    gain_16_32 = (t_dcu[16] - t_dcu[32]) / t_dcu[16]
+    assert gain_16_32 < gain_8_16
+    assert gain_16_32 < 0.35
+
+    t_win = dict(windows)
+    # batching beats snapshot-by-snapshot strongly...
+    assert t_win[4] < 0.7 * t_win[1]
+    # ...with a clear knee at 4: gains flatten beyond it (the paper sees
+    # a slight decline from identification overhead; our analytic loader
+    # model plateaus instead — see EXPERIMENTS.md deviations)
+    assert t_win[2] < t_win[1] and t_win[4] < t_win[2]
+    assert abs(t_win[6] - t_win[4]) / t_win[4] < 0.15
+    assert abs(t_win[8] - t_win[4]) / t_win[4] < 0.30
+    gain_14 = (t_win[1] - t_win[4]) / t_win[1]
+    gain_48 = max(0.0, (t_win[4] - t_win[8]) / t_win[4])
+    assert gain_14 > 2 * gain_48  # diminishing returns past 4
+
+    t_mac = dict(macs)
+    assert t_mac[1024] > t_mac[4096]
+    # diminishing returns beyond 4,096 (the paper's chosen size)
+    gain_up = (t_mac[4096] - t_mac[16384]) / t_mac[4096]
+    gain_down = (t_mac[1024] - t_mac[4096]) / t_mac[1024]
+    assert gain_up < gain_down

@@ -1,0 +1,153 @@
+"""Figure 2 — motivation studies of conventional DGNN systems.
+
+(a) execution-time breakdown of PiPAD across models/datasets;
+(b) software frameworks normalised to PyGT on T-GCN;
+(c) useful-data ratio of each framework over 4 snapshots;
+(d) PiPAD latency breakdown + SM utilisation.
+"""
+
+import pytest
+
+from repro.accel import MOTIVATION_FRAMEWORKS
+from repro.bench import (
+    GRID_DATASETS,
+    GRID_MODELS,
+    get_graph,
+    get_model,
+    get_reference,
+    get_workload,
+    render_table,
+    save_result,
+)
+
+
+def _framework_report(name, model_name, dataset):
+    fw = MOTIVATION_FRAMEWORKS[name]
+    return fw.simulate(
+        get_model(model_name, dataset),
+        get_graph(dataset),
+        dataset,
+        metrics=get_reference(model_name, dataset).metrics,
+        workload=get_workload(model_name, dataset),
+    )
+
+
+def build_fig2a():
+    """Phase breakdown (%) of the conventional execution, from the MAC
+    and memory counters (aggregation / combination / cell-update /
+    other)."""
+    rows = []
+    for m in GRID_MODELS:
+        for d in GRID_DATASETS:
+            bd = get_reference(m, d).metrics.breakdown()
+            # time-weight the phases: aggregation is gather-bound (an
+            # irregular access costs ~16 MAC-equivalents), cell updates
+            # run as small latency-bound matmuls (~1.5x derate),
+            # combination streams at full MAC throughput
+            agg = bd["aggregation"] * 16.0
+            comb = bd["combination"]
+            cell = bd["cell_update"] * 1.5
+            other = 0.12 * (agg + comb + cell)
+            tot = agg + comb + cell + other
+            rows.append(
+                [m, d, 100 * agg / tot, 100 * comb / tot, 100 * cell / tot,
+                 100 * other / tot]
+            )
+    return rows
+
+
+def test_fig2a_breakdown(benchmark):
+    rows = benchmark.pedantic(build_fig2a, rounds=1, iterations=1)
+    text = render_table(
+        "Fig 2(a): conventional execution time breakdown (%)",
+        ["Model", "Dataset", "Aggregation", "Combination", "Cell-update", "Other"],
+        rows,
+    )
+    save_result("fig2a_breakdown", text)
+    # the paper: aggregation+update dominate everywhere; aggregation can
+    # reach ~77% and never collapses below ~25%
+    for r in rows:
+        assert r[2] + r[4] > 50.0
+        assert 20.0 < r[2] < 90.0
+
+
+def build_fig2b():
+    rows = []
+    for d in GRID_DATASETS:
+        base = _framework_report("PyGT", "T-GCN", d).seconds
+        row = [d] + [
+            _framework_report(n, "T-GCN", d).seconds / base
+            for n in ("PyGT", "CacheG", "ESDG", "PiPAD")
+        ]
+        rows.append(row)
+    return rows
+
+
+def test_fig2b_frameworks(benchmark):
+    rows = benchmark.pedantic(build_fig2b, rounds=1, iterations=1)
+    text = render_table(
+        "Fig 2(b): T-GCN execution time normalised to PyGT",
+        ["Dataset", "PyGT", "CacheG", "ESDG", "PiPAD"],
+        rows,
+    )
+    save_result("fig2b_frameworks", text)
+    for r in rows:
+        # PiPAD outperforms the others in every scenario (paper)
+        assert r[4] < r[3] < r[2] < r[1] == pytest.approx(1.0)
+
+
+def build_fig2c():
+    rows = []
+    for d in GRID_DATASETS:
+        metrics = get_reference("T-GCN", d).metrics
+        base_useful = metrics.useful_ratio()
+        row = [d]
+        for n in ("PyGT", "CacheG", "ESDG", "PiPAD"):
+            fw = MOTIVATION_FRAMEWORKS[n]
+            # a framework's cache removes part of the redundancy; the rest
+            # is fetched anyway
+            redundant = (metrics.redundant_words / metrics.total_words) * (
+                1 - fw.redundancy_elimination
+            )
+            row.append(100 * (1 - redundant))
+        rows.append(row)
+    return rows
+
+
+def test_fig2c_useful_data(benchmark):
+    rows = benchmark.pedantic(build_fig2c, rounds=1, iterations=1)
+    text = render_table(
+        "Fig 2(c): useful-data ratio over 4 snapshots (%) — T-GCN",
+        ["Dataset", "PyGT", "CacheG", "ESDG", "PiPAD"],
+        rows,
+    )
+    save_result("fig2c_useful_data", text)
+    for r in rows:
+        # the paper: even PiPAD leaves >81.7% of accesses redundant
+        assert r[4] < 35.0  # PiPAD useful ratio stays low
+        assert r[1] <= r[2] <= r[3] <= r[4]  # caching improves it monotonically
+
+
+def build_fig2d():
+    rows = []
+    for d in GRID_DATASETS:
+        r = _framework_report("PiPAD", "T-GCN", d)
+        mem = r.breakdown["memory_s"] / r.seconds
+        comp = r.breakdown["compute_s"] / r.seconds
+        ovh = r.breakdown["overhead_s"] / r.seconds
+        rows.append([d, 100 * mem, 100 * comp, 100 * ovh,
+                     100 * r.extra["utilization"]])
+    return rows
+
+
+def test_fig2d_pipad_breakdown(benchmark):
+    rows = benchmark.pedantic(build_fig2d, rounds=1, iterations=1)
+    text = render_table(
+        "Fig 2(d): PiPAD latency breakdown + SM utilisation (%)",
+        ["Dataset", "Memory", "Compute", "Overhead", "SM util"],
+        rows,
+    )
+    save_result("fig2d_pipad", text)
+    for r in rows:
+        assert r[1] > 55.0  # memory dominates (paper: 70.4% average)
+        assert r[4] < 25.0  # SM utilisation below 22.3%

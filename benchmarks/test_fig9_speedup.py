@@ -1,0 +1,72 @@
+"""Figure 9 — overall performance normalised to DGL-CPU.
+
+The paper's headline software comparison: TaGNN beats DGL-CPU by
+415.2-612.6x (535.2x average) and PiPAD by 62.8-146.4x (84.3x average);
+TaGNN-S sits slightly above PiPAD.
+"""
+
+from repro.bench import (
+    GRID_DATASETS,
+    GRID_MODELS,
+    bar_chart,
+    geomean,
+    get_platform_report,
+    render_table,
+    save_result,
+)
+
+SYSTEMS = ("DGL-CPU", "PiPAD", "TaGNN-S", "TaGNN")
+
+
+def build_fig9():
+    rows = []
+    for m in GRID_MODELS:
+        for d in GRID_DATASETS:
+            base = get_platform_report("DGL-CPU", m, d).seconds
+            speedups = [
+                base / get_platform_report(s, m, d).seconds for s in SYSTEMS
+            ]
+            rows.append([m, d] + speedups)
+    return rows
+
+
+def test_fig9_speedups(benchmark):
+    rows = benchmark.pedantic(build_fig9, rounds=1, iterations=1)
+    avg = ["AVG", ""] + [
+        geomean([r[2 + i] for r in rows]) for i in range(len(SYSTEMS))
+    ]
+    text = render_table(
+        "Fig 9: speedup over DGL-CPU (higher is better)",
+        ["Model", "Dataset"] + list(SYSTEMS),
+        rows + [avg],
+        floatfmt="{:.1f}",
+    )
+    text += "\n" + bar_chart(
+        "Fig 9 (chart): geomean speedup over DGL-CPU (log scale)",
+        list(SYSTEMS),
+        avg[2:],
+        log=True,
+        unit="x",
+    )
+    save_result("fig9_speedup", text)
+
+    tagnn_over_cpu = [r[5] for r in rows]
+    tagnn_over_pipad = [r[5] / r[3] for r in rows]
+    # headline bands (paper: 415-613x CPU, 63-146x GPU on real datasets;
+    # we accept a generous band around the same order of magnitude)
+    avg_cpu = geomean(tagnn_over_cpu)
+    avg_gpu = geomean(tagnn_over_pipad)
+    assert 250 < avg_cpu < 1100, avg_cpu
+    assert 40 < avg_gpu < 180, avg_gpu
+    for r in rows:
+        # ordering holds in every cell: TaGNN > TaGNN-S >= ~PiPAD > DGL
+        assert r[5] > r[4] > 1.0
+        assert r[3] > 1.0
+
+
+def test_fig9_tagnn_s_vs_pipad(benchmark):
+    rows = benchmark.pedantic(build_fig9, rounds=1, iterations=1)
+    ratios = [r[4] / r[3] for r in rows]  # TaGNN-S / PiPAD
+    # Fig 8/9: TaGNN-S only slightly outperforms PiPAD on average
+    g = geomean(ratios)
+    assert 0.9 < g < 2.5, g

@@ -1,0 +1,34 @@
+"""Table 3 — FPGA resource utilisation of TaGNN on the U280."""
+
+from repro.accel import estimate_resources
+from repro.bench import GRID_MODELS, get_model, render_table, save_result
+
+PAPER_TABLE3 = {
+    "CD-GCN": {"DSP": 77.2, "LUT": 42.6, "FF": 34.9, "BRAM": 62.4, "UltraRAM": 82.4},
+    "GC-LSTM": {"DSP": 80.2, "LUT": 49.5, "FF": 35.2, "BRAM": 69.7, "UltraRAM": 89.7},
+    "T-GCN": {"DSP": 73.6, "LUT": 40.1, "FF": 30.4, "BRAM": 59.3, "UltraRAM": 80.3},
+}
+
+
+def build_table3():
+    rows = []
+    for m in GRID_MODELS:
+        util = estimate_resources(get_model(m, "GT")).utilization()
+        paper = PAPER_TABLE3[m]
+        for res in ("DSP", "LUT", "FF", "BRAM", "UltraRAM"):
+            rows.append([m, res, paper[res], 100 * util[res]])
+    return rows
+
+
+def test_table3_resources(benchmark):
+    rows = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    text = render_table(
+        "Table 3: U280 resource utilisation (%) — paper vs model",
+        ["Model", "Resource", "Paper", "Reproduced"],
+        rows,
+        floatfmt="{:.1f}",
+    )
+    save_result("table3_resources", text)
+    for m, res, paper, ours in rows:
+        assert abs(ours - paper) < 7.0, (m, res, paper, ours)
+        assert ours < 100.0  # must fit the device

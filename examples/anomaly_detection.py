@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Anomaly detection in a dynamic graph — one of the applications the
+paper's introduction motivates.
+
+Scenario: a communication network evolves normally, but at a known
+snapshot a small set of vertices is compromised and starts forming an
+abnormal clique while rewriting its features.  We detect the compromised
+vertices by scoring how far each vertex's DGNN embedding moves between
+consecutive snapshots — and we run the DGNN with TaGNN's topology-aware
+engine, so the detector inherits all of its savings.
+
+The example shows a practical subtlety: the similarity-aware skipping
+never skips the anomalous vertices (their similarity scores crash), so
+the approximation is *detection-preserving* by construction.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.engine import ConcurrentEngine
+from repro.graphs import CSRSnapshot, DynamicGraph, load_dataset
+from repro.models import make_model
+from repro.skipping import CellUpdateMode
+
+ANOMALY_SNAPSHOT = 5
+NUM_ANOMALOUS = 12
+
+
+def inject_anomaly(graph: DynamicGraph, at: int, k: int, seed: int = 7):
+    """Return (new_graph, anomalous_ids): from snapshot ``at`` onward,
+    ``k`` random vertices form a clique and get shifted features."""
+    rng = np.random.default_rng(seed)
+    present = np.flatnonzero(graph[at].present)
+    bad = rng.choice(present, size=k, replace=False)
+    snapshots = list(graph.snapshots[:at])
+    for t in range(at, graph.num_snapshots):
+        snap = graph[t]
+        edges = snap.edge_array()
+        clique = np.array(
+            [(u, v) for u in bad for v in bad if u < v], dtype=np.int64
+        )
+        feats = snap.features.copy()
+        feats[bad] += 3.0  # feature shift
+        merged = np.concatenate([edges, clique, clique[:, ::-1]])
+        snapshots.append(
+            CSRSnapshot.from_edges(
+                graph.num_vertices, merged, feats,
+                present=snap.present.copy(), undirected=False,
+            )
+        )
+    return DynamicGraph(snapshots, name=f"{graph.name}+anomaly"), np.sort(bad)
+
+
+def main() -> None:
+    base = load_dataset("GT", num_snapshots=8)
+    graph, anomalous = inject_anomaly(base, ANOMALY_SNAPSHOT, NUM_ANOMALOUS)
+    print(f"injected a {NUM_ANOMALOUS}-vertex anomaly at snapshot {ANOMALY_SNAPSHOT}")
+
+    model = make_model("GC-LSTM", graph.dim, hidden_dim=32, seed=1)
+    result = ConcurrentEngine(model, window_size=4).run(graph)
+    print(
+        f"inference done: {result.metrics.skip_ratio():.1%} of cell updates "
+        f"skipped, {result.metrics.cell_macs_saved:,} cell MACs saved"
+    )
+
+    # anomaly score: embedding displacement across the anomaly boundary
+    h_before = result.outputs[ANOMALY_SNAPSHOT - 1]
+    h_after = result.outputs[ANOMALY_SNAPSHOT]
+    score = np.linalg.norm(h_after - h_before, axis=1)
+    score[~graph[ANOMALY_SNAPSHOT].present] = 0.0
+
+    top = np.argsort(-score)[: 2 * NUM_ANOMALOUS]
+    hits = len(np.intersect1d(top, anomalous))
+    recall = hits / NUM_ANOMALOUS
+    print(
+        f"\ntop-{2 * NUM_ANOMALOUS} displacement scores contain "
+        f"{hits}/{NUM_ANOMALOUS} injected anomalies (recall {recall:.0%})"
+    )
+
+    # the skipping policy never skipped the anomalous vertices at the
+    # anomaly snapshot: their theta collapsed, forcing full updates.
+    # Decisions exist only for non-refresh snapshots (the first snapshot
+    # of each window takes the unconditional full update), so map the
+    # anomaly snapshot to its decision index.
+    window = 4
+    decided_snapshots = [
+        t for t in range(graph.num_snapshots) if t % window != 0
+    ]
+    d_at = result.extra["decisions"][decided_snapshots.index(ANOMALY_SNAPSHOT)]
+    skipped = set(d_at.rows(CellUpdateMode.SKIP).tolist())
+    leaked = skipped.intersection(anomalous.tolist())
+    print(f"anomalous vertices skipped at the anomaly step: {len(leaked)} (want 0)")
+
+    assert recall >= 0.75, "detector should find most injected anomalies"
+    assert not leaked, "similarity gate must not skip anomalous vertices"
+    print("\nanomaly detection succeeded under topology-aware execution")
+
+
+if __name__ == "__main__":
+    main()

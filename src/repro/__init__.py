@@ -1,0 +1,52 @@
+"""TaGNN reproduction: topology-aware dynamic graph neural network
+acceleration (SC '25), reimplemented as a pure-Python library.
+
+Subpackages
+-----------
+``repro.graphs``
+    Dynamic-graph substrate: CSR snapshots, synthetic dataset generators
+    mirroring the paper's Table 2, update streams.
+``repro.formats``
+    Multi-snapshot storage: per-snapshot CSR, O-CSR, Packed Memory Array.
+``repro.models``
+    GCN layers, LSTM/GRU cells, the CD-GCN / GC-LSTM / T-GCN zoo, and the
+    teacher-label + ridge-readout accuracy protocol.
+``repro.analysis``
+    Vertex classification, affected-subgraph extraction, similarity score.
+``repro.skipping``
+    Similarity-aware cell skipping plus the prior-work RNN approximations.
+``repro.engine``
+    The conventional reference engine and the TaGNN-S concurrent engine.
+``repro.hardware``
+    Memory, pipeline, compute-unit, and energy models.
+``repro.accel``
+    The TaGNN accelerator simulator and every comparison platform.
+``repro.bench``
+    The memoised experiment harness driving the per-figure benchmarks.
+
+Quickstart::
+
+    from repro.graphs import load_dataset
+    from repro.models import make_model
+    from repro.engine import ConcurrentEngine
+    from repro.accel import TaGNNSimulator
+
+    graph = load_dataset("GT", num_snapshots=8)
+    model = make_model("T-GCN", graph.dim, 32)
+    result = ConcurrentEngine(model).run(graph)          # TaGNN-S
+    report = TaGNNSimulator().simulate(model, graph)     # the accelerator
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "formats",
+    "models",
+    "analysis",
+    "skipping",
+    "engine",
+    "hardware",
+    "accel",
+    "bench",
+]

@@ -1,0 +1,54 @@
+"""The TaGNN accelerator simulator and every comparison platform."""
+
+from .baselines import ACCELERATOR_BASELINES, CAMBRICON_DG, DGNN_BOOSTER, E_DGCN
+from .config import TaGNNConfig
+from .cyclesim import CycleSimResult, CycleSimulator, Task, tasks_from_workload
+from .partition import GSPM, Partition, PartitionPlan, PartitionStrategy
+from .platform import PlatformModel
+from .report import SimulationReport
+from .resources import FPGAResources, estimate_resources
+from .software import (
+    CACHEG,
+    DGL_CPU,
+    ESDG,
+    MOTIVATION_FRAMEWORKS,
+    PIPAD,
+    PYGT,
+    SOFTWARE_PLATFORMS,
+    TAGNN_S,
+    TaGNNSoftware,
+)
+from .tagnn import TaGNNSimulator
+from .workload import WindowStats, WorkloadStats
+
+__all__ = [
+    "ACCELERATOR_BASELINES",
+    "CAMBRICON_DG",
+    "DGNN_BOOSTER",
+    "E_DGCN",
+    "TaGNNConfig",
+    "CycleSimResult",
+    "CycleSimulator",
+    "Task",
+    "tasks_from_workload",
+    "GSPM",
+    "Partition",
+    "PartitionPlan",
+    "PartitionStrategy",
+    "PlatformModel",
+    "SimulationReport",
+    "FPGAResources",
+    "estimate_resources",
+    "CACHEG",
+    "DGL_CPU",
+    "ESDG",
+    "MOTIVATION_FRAMEWORKS",
+    "PIPAD",
+    "PYGT",
+    "SOFTWARE_PLATFORMS",
+    "TAGNN_S",
+    "TaGNNSoftware",
+    "TaGNNSimulator",
+    "WindowStats",
+    "WorkloadStats",
+]

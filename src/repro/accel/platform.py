@@ -1,0 +1,141 @@
+"""Generic platform cost model for snapshot-by-snapshot executors.
+
+Every baseline — the software frameworks (DGL-CPU, PyGT, CacheG, ESDG,
+PiPAD) and the accelerator comparators (DGNN-Booster, E-DGCN,
+Cambricon-DG) — executes the conventional pattern whose functional
+counters the :class:`ReferenceEngine` produces.  What distinguishes the
+platforms is how they *price* that pattern:
+
+* achievable compute rate (``macs_per_cycle`` × ``mac_efficiency`` ×
+  clock, derated by measured utilisation for the software platforms);
+* memory behaviour: streamed bandwidth, plus latency-bound random
+  accesses amortised over ``outstanding_requests`` in-flight misses;
+* how much of the memory time overlaps compute (``phase_overlap``: the
+  paper's temporal-dependency stalls mean baselines overlap poorly);
+* optional ``redundancy_elimination``: the fraction of *redundant*
+  traffic the platform's own mechanism removes (Cambricon-DG's nonlinear
+  isolation; the caching of CacheG/PiPAD);
+* fixed per-snapshot framework overhead (kernel launches, graph
+  bookkeeping — dominant for DGL/PyG-family software).
+
+A note on regime: Section 2.2 stresses that real DGNN feature volumes
+(512–1024 dims over millions of vertices) exceed on-chip capacity, so
+every feature access event is off-chip traffic.  The models below price
+access *events* to stay in that regime even though the scaled-down
+synthetic graphs would physically fit in a few megabytes — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.metrics import ExecutionMetrics
+from ..engine.reference import ReferenceEngine
+from ..graphs.dynamic import DynamicGraph
+from ..hardware.energy import EnergyModel
+from ..models.base import DGNNModel
+from .report import SimulationReport
+from .workload import WorkloadStats
+
+__all__ = ["PlatformModel"]
+
+_RANDOM_NS = 45.0  # DRAM row-activation latency all platforms share
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """A priced snapshot-by-snapshot platform."""
+
+    name: str
+    frequency_mhz: float
+    macs: int
+    mac_efficiency: float
+    bandwidth_gbs: float
+    outstanding_requests: float
+    phase_overlap: float  # 0 = fully serial phases, 1 = fully overlapped
+    energy: EnergyModel
+    redundancy_elimination: float = 0.0
+    snapshot_overhead_us: float = 0.0
+    compute_utilization: float = 1.0  # measured util. (software platforms)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.phase_overlap <= 1:
+            raise ValueError("phase_overlap in [0, 1]")
+        if not 0 <= self.redundancy_elimination <= 1:
+            raise ValueError("redundancy_elimination in [0, 1]")
+        if not 0 < self.compute_utilization <= 1:
+            raise ValueError("compute_utilization in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        model: DGNNModel,
+        graph: DynamicGraph,
+        dataset: str = "?",
+        *,
+        window_size: int = 4,
+        metrics: ExecutionMetrics | None = None,
+        workload: WorkloadStats | None = None,
+    ) -> SimulationReport:
+        """Price the conventional execution of ``model`` over ``graph``."""
+        if metrics is None:
+            metrics = ReferenceEngine(model, window_size=window_size).run(graph).metrics
+        if workload is None:
+            workload = WorkloadStats.analyze(graph, model, window_size)
+
+        words = float(metrics.total_words)
+        words -= self.redundancy_elimination * metrics.redundant_words
+        randoms = workload.random_accesses_csr() * (
+            1.0 - self.redundancy_elimination
+        )
+
+        mem_s = (
+            words * 4 / (self.bandwidth_gbs * 1e9)
+            + randoms * _RANDOM_NS * 1e-9 / self.outstanding_requests
+        )
+        comp_rate = (
+            self.macs
+            * self.mac_efficiency
+            * self.compute_utilization
+            * self.frequency_mhz
+            * 1e6
+        )
+        comp_s = metrics.total_macs / comp_rate
+        overhead_s = self.snapshot_overhead_us * 1e-6 * metrics.snapshots_processed
+
+        hi, lo = max(mem_s, comp_s), min(mem_s, comp_s)
+        seconds = hi + (1.0 - self.phase_overlap) * lo + overhead_s
+        cycles = seconds * self.frequency_mhz * 1e6
+
+        e_macs = self.energy.dynamic_joules(macs=metrics.total_macs)
+        e_sram = self.energy.dynamic_joules(
+            sram_words=2.0 * words + 0.5 * metrics.total_macs
+        )
+        e_dram = self.energy.dynamic_joules(dram_words=words)
+        e_static = self.energy.static_joules(cycles)
+        joules = e_macs + e_sram + e_dram + e_static
+        return SimulationReport(
+            platform=self.name,
+            model=model.name,
+            dataset=dataset,
+            cycles=cycles,
+            seconds=seconds,
+            joules=joules,
+            breakdown={
+                "memory_s": mem_s,
+                "compute_s": comp_s,
+                "overhead_s": overhead_s,
+            },
+            metrics=metrics,
+            extra={
+                "words": words,
+                "randoms": randoms,
+                "utilization": min(1.0, comp_s / seconds) if seconds else 0.0,
+                "energy_breakdown": {
+                    "compute_j": e_macs,
+                    "sram_j": e_sram,
+                    "dram_j": e_dram,
+                    "static_j": e_static,
+                },
+            },
+        )

@@ -1,0 +1,52 @@
+"""The common result type every platform simulator returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.metrics import ExecutionMetrics
+
+__all__ = ["SimulationReport"]
+
+
+@dataclass
+class SimulationReport:
+    """Latency/energy outcome of one (platform, model, dataset) run.
+
+    ``breakdown`` maps component/phase names to cycles (platform-specific
+    keys); ``metrics`` carries the functional counters the numbers were
+    derived from, so benches can recompute ratios without re-running.
+    """
+
+    platform: str
+    model: str
+    dataset: str
+    cycles: float
+    seconds: float
+    joules: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    metrics: ExecutionMetrics | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def watts(self) -> float:
+        """Average power over the run."""
+        return self.joules / self.seconds if self.seconds else 0.0
+
+    def speedup_over(self, other: "SimulationReport") -> float:
+        """How much faster *self* is than *other*."""
+        if self.seconds == 0:
+            return float("inf")
+        return other.seconds / self.seconds
+
+    def energy_saving_over(self, other: "SimulationReport") -> float:
+        """Energy ratio other/self (>1 means self is more efficient)."""
+        if self.joules == 0:
+            return float("inf")
+        return other.joules / self.joules
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        total = sum(self.breakdown.values())
+        if total == 0:
+            return {k: 0.0 for k in self.breakdown}
+        return {k: v / total for k, v in self.breakdown.items()}

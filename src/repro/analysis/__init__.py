@@ -1,0 +1,28 @@
+"""Topology analysis: vertex classification, affected-subgraph extraction,
+and the similarity score that gates cell skipping."""
+
+from .classify import VertexClass, WindowClassification, classify_window
+from .similarity import cosine_rows, neighbor_stability_weights, similarity_scores
+from .stats import (
+    churn_timeline,
+    degree_evolution,
+    edge_jaccard_matrix,
+    temporal_profile,
+)
+from .subgraph import AffectedSubgraph, extract_affected_subgraph, union_adjacency
+
+__all__ = [
+    "VertexClass",
+    "WindowClassification",
+    "classify_window",
+    "cosine_rows",
+    "neighbor_stability_weights",
+    "similarity_scores",
+    "churn_timeline",
+    "degree_evolution",
+    "edge_jaccard_matrix",
+    "temporal_profile",
+    "AffectedSubgraph",
+    "extract_affected_subgraph",
+    "union_adjacency",
+]

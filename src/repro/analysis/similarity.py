@@ -1,0 +1,119 @@
+r"""The similarity score :math:`\theta` gating the cell-update mode.
+
+Paper Section 3.1 defines, for vertex :math:`v` across snapshots
+:math:`t` and :math:`t+1`:
+
+.. math::
+
+   \theta(v) \;=\;
+   \frac{Z^t(v) \cdot Z^{t+1}(v)}{\lVert Z^t(v)\rVert\,\lVert Z^{t+1}(v)\rVert}
+   \;\times\;
+   \frac{|\mathcal N_{sv}(v)|}{|\mathcal N^t(v) \cap \mathcal N^{t+1}(v)|}
+
+— cosine similarity of the GNN outputs, weighted by the fraction of the
+common neighbours that are (feature-)stable.  The score lies in
+:math:`[-1, 1]`; high means "reuse the previous RNN result" and low means
+"full cell update".
+
+Conventions for the degenerate cases (the paper leaves them implicit):
+
+* zero-norm GNN output on either side → cosine term 0 (no evidence of
+  similarity);
+* no common neighbours but both neighbourhoods empty and equal → weight 1
+  (an isolated vertex that stayed isolated is perfectly consistent);
+* no common neighbours otherwise → weight 0 (total topological change).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.snapshot import CSRSnapshot
+
+__all__ = ["cosine_rows", "neighbor_stability_weights", "similarity_scores"]
+
+
+def cosine_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cosine similarity of two equally-shaped matrices.
+
+    Rows with zero norm on either side score 0.
+    """
+    num = np.einsum("ij,ij->i", a.astype(np.float64), b.astype(np.float64))
+    na = np.linalg.norm(a, axis=1)
+    nb = np.linalg.norm(b, axis=1)
+    denom = na * nb
+    out = np.zeros(len(a), dtype=np.float64)
+    np.divide(num, denom, out=out, where=denom > 0)
+    return np.clip(out, -1.0, 1.0)
+
+
+def neighbor_stability_weights(
+    snap_t: CSRSnapshot,
+    snap_t1: CSRSnapshot,
+    vertices: np.ndarray,
+    feature_stable: np.ndarray,
+) -> np.ndarray:
+    r"""The topological factor
+    :math:`|\mathcal N_{sv}| / |\mathcal N^t \cap \mathcal N^{t+1}|`
+    for each vertex in ``vertices``.
+
+    ``feature_stable`` marks vertices whose own features are unchanged
+    between the two snapshots (the paper's inclusive stable set).
+    """
+    out = np.zeros(len(vertices), dtype=np.float64)
+    for i, v in enumerate(np.asarray(vertices).tolist()):
+        a = snap_t.neighbors(v)
+        b = snap_t1.neighbors(v)
+        if len(a) == 0 and len(b) == 0:
+            out[i] = 1.0
+            continue
+        common = np.intersect1d(a, b, assume_unique=True)
+        if common.size == 0:
+            out[i] = 0.0
+            continue
+        out[i] = float(feature_stable[common].mean())
+    return out
+
+
+#: Calibration constant for the cosine term (see similarity_scores).
+COSINE_SHARPNESS = 10.0 / 3.0
+
+
+def similarity_scores(
+    z_t: np.ndarray,
+    z_t1: np.ndarray,
+    snap_t: CSRSnapshot,
+    snap_t1: CSRSnapshot,
+    vertices: np.ndarray,
+    feature_stable: np.ndarray,
+    *,
+    sharpness: float = COSINE_SHARPNESS,
+) -> np.ndarray:
+    r"""Full :math:`\theta` for each vertex in ``vertices``.
+
+    Parameters
+    ----------
+    z_t, z_t1:
+        GNN-module outputs :math:`Z^t`, :math:`Z^{t+1}` over *all*
+        vertices (rows indexed by global id).
+    snap_t, snap_t1:
+        The two snapshots (for the neighbourhood intersection).
+    vertices:
+        Vertex ids to score (TaGNN scores stable and affected vertices).
+    feature_stable:
+        Boolean per-vertex own-feature stability between the snapshots.
+    sharpness:
+        Calibration of the cosine term: ``cos' = 1 - sharpness*(1 - cos)``.
+        Our reservoir models produce consecutive-snapshot cosines packed
+        near 1 (far tighter than the trained models in the paper's
+        Fig. 3(b), whose measured differences span roughly [-0.6, 0.8]).
+        The affine stretch maps our distribution onto that range so that
+        the paper's thresholds :math:`[\theta_s, \theta_e] = [-0.5, 0.5]`
+        are also the operating point here — pass ``sharpness=1.0`` for the
+        raw cosine.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    cos = cosine_rows(z_t[vertices], z_t1[vertices])
+    cos = np.clip(1.0 - sharpness * (1.0 - cos), -1.0, 1.0)
+    w = neighbor_stability_weights(snap_t, snap_t1, vertices, feature_stable)
+    return np.clip(cos * w, -1.0, 1.0)

@@ -1,0 +1,43 @@
+"""Experiment harness and reporting for the per-figure benches."""
+
+from .harness import (
+    GRID_DATASETS,
+    GRID_MODELS,
+    HIDDEN_DIM,
+    NUM_SNAPSHOTS,
+    WINDOW,
+    geomean,
+    get_concurrent,
+    get_graph,
+    get_labels,
+    get_model,
+    get_platform_report,
+    get_reference,
+    get_tagnn_report,
+    get_workload,
+)
+from .charts import bar_chart, grouped_bar_chart, series_chart
+from .report import RESULTS_DIR, render_table, save_result
+
+__all__ = [
+    "GRID_DATASETS",
+    "GRID_MODELS",
+    "HIDDEN_DIM",
+    "NUM_SNAPSHOTS",
+    "WINDOW",
+    "geomean",
+    "get_concurrent",
+    "get_graph",
+    "get_labels",
+    "get_model",
+    "get_platform_report",
+    "get_reference",
+    "get_tagnn_report",
+    "get_workload",
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "RESULTS_DIR",
+    "render_table",
+    "save_result",
+]

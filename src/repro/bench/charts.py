@@ -1,0 +1,111 @@
+"""ASCII charts: render bench series as horizontal bar charts.
+
+The paper's results are *figures*; the benches archive them as tables
+plus these bar renderings so the shape (who wins, by how much, where the
+knee is) is visible at a glance in a terminal or a text artefact.
+
+All renderers are pure string functions (no plotting dependencies) and
+handle the awkward cases: zero/negative values, log-scale spans, labels
+of uneven width.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_chart"]
+
+_BLOCK = "█"
+_PARTIALS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0 or value <= 0:
+        return ""
+    frac = min(1.0, value / vmax)
+    cells = frac * width
+    full = int(cells)
+    rem = int((cells - full) * 8)
+    return _BLOCK * full + (_PARTIALS[rem] if rem else "")
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    log: bool = False,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per (label, value).
+
+    ``log=True`` renders bar lengths on a log10 scale (for series spanning
+    orders of magnitude, e.g. speedups over DGL-CPU) while still printing
+    the raw values.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        return f"{title}\n(empty)\n"
+    vals = [max(0.0, float(v)) for v in values]
+    if log:
+        scaled = [math.log10(v + 1.0) for v in vals]
+    else:
+        scaled = vals
+    vmax = max(scaled) or 1.0
+    lw = max(len(str(l)) for l in labels)
+    lines = [title, "=" * len(title)]
+    for label, raw, s in zip(labels, vals, scaled):
+        bar = _bar(s, vmax, width)
+        lines.append(f"{str(label):>{lw}} | {bar} {raw:g}{unit}")
+    return "\n".join(lines) + "\n"
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 30,
+    log: bool = False,
+) -> str:
+    """Grouped bars: for each group, one bar per named series — the shape
+    of the paper's Figs. 9–11 (platforms per dataset)."""
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(f"series {name!r} length != number of groups")
+    if not groups or not series:
+        return f"{title}\n(empty)\n"
+    all_vals = [max(0.0, float(v)) for vals in series.values() for v in vals]
+    scale = (lambda v: math.log10(v + 1.0)) if log else (lambda v: v)
+    vmax = max((scale(v) for v in all_vals), default=1.0) or 1.0
+    sw = max(len(s) for s in series)
+    lines = [title, "=" * len(title)]
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, vals in series.items():
+            raw = max(0.0, float(vals[gi]))
+            lines.append(
+                f"  {name:>{sw}} | {_bar(scale(raw), vmax, width)} {raw:g}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def series_chart(
+    title: str,
+    x: Sequence,
+    y: Sequence[float],
+    *,
+    width: int = 40,
+    ylabel: str = "",
+) -> str:
+    """A one-series trend (the paper's sensitivity sweeps): one bar per x
+    point, so knees and plateaus are visible."""
+    return bar_chart(
+        title if not ylabel else f"{title}  [{ylabel}]",
+        [str(v) for v in x],
+        y,
+        width=width,
+    )

@@ -1,0 +1,150 @@
+"""Shared experiment harness for the per-figure/per-table benches.
+
+All benches run over the same grid — the paper's 3 models x 5 datasets —
+and need the same intermediate artefacts (reference run, workload stats,
+TaGNN-S run, platform reports).  This module memoises them per process so
+the whole bench suite costs one pass over the grid.
+
+Experiment scale: benches use 8 snapshots and hidden width 32 (the
+synthetic stand-ins are laptop-scale; see DESIGN.md).  Every number is
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..accel import (
+    ACCELERATOR_BASELINES,
+    PIPAD,
+    TAGNN_S,
+    DGL_CPU,
+    TaGNNConfig,
+    TaGNNSimulator,
+    WorkloadStats,
+)
+from ..accel.report import SimulationReport
+from ..engine import ConcurrentEngine, EngineResult, ReferenceEngine
+from ..graphs import load_dataset
+from ..graphs.dynamic import DynamicGraph
+from ..models import make_model, make_teacher_labels
+from ..models.base import DGNNModel
+
+__all__ = [
+    "GRID_MODELS",
+    "GRID_DATASETS",
+    "NUM_SNAPSHOTS",
+    "HIDDEN_DIM",
+    "WINDOW",
+    "get_graph",
+    "get_model",
+    "get_labels",
+    "get_reference",
+    "get_concurrent",
+    "get_workload",
+    "get_tagnn_report",
+    "get_platform_report",
+    "geomean",
+]
+
+GRID_MODELS = ("CD-GCN", "GC-LSTM", "T-GCN")
+GRID_DATASETS = ("HP", "GT", "ML", "EP", "FK")
+NUM_SNAPSHOTS = 8
+HIDDEN_DIM = 32
+WINDOW = 4
+_SEED = 3
+
+
+@lru_cache(maxsize=None)
+def get_graph(dataset: str) -> DynamicGraph:
+    return load_dataset(dataset, num_snapshots=NUM_SNAPSHOTS)
+
+
+@lru_cache(maxsize=None)
+def get_model(model_name: str, dataset: str) -> DGNNModel:
+    return make_model(model_name, get_graph(dataset).dim, HIDDEN_DIM, seed=_SEED)
+
+
+@lru_cache(maxsize=None)
+def get_labels(dataset: str, num_classes: int = 4):
+    return make_teacher_labels(get_graph(dataset), num_classes)
+
+
+@lru_cache(maxsize=None)
+def get_reference(model_name: str, dataset: str) -> EngineResult:
+    return ReferenceEngine(
+        get_model(model_name, dataset), window_size=WINDOW
+    ).run(get_graph(dataset))
+
+
+@lru_cache(maxsize=None)
+def get_concurrent(
+    model_name: str,
+    dataset: str,
+    *,
+    enable_overlap: bool = True,
+    enable_skipping: bool = True,
+    window: int = WINDOW,
+) -> EngineResult:
+    return ConcurrentEngine(
+        get_model(model_name, dataset),
+        window_size=window,
+        enable_overlap=enable_overlap,
+        enable_skipping=enable_skipping,
+    ).run(get_graph(dataset))
+
+
+@lru_cache(maxsize=None)
+def get_workload(model_name: str, dataset: str, window: int = WINDOW) -> WorkloadStats:
+    return WorkloadStats.analyze(
+        get_graph(dataset), get_model(model_name, dataset), window
+    )
+
+
+@lru_cache(maxsize=None)
+def get_tagnn_report(
+    model_name: str, dataset: str, config: TaGNNConfig | None = None
+) -> SimulationReport:
+    cfg = config or TaGNNConfig()
+    return TaGNNSimulator(cfg).simulate(
+        get_model(model_name, dataset),
+        get_graph(dataset),
+        dataset,
+        workload=get_workload(model_name, dataset, cfg.window_size),
+    )
+
+
+_PLATFORMS = {
+    **ACCELERATOR_BASELINES,
+    "DGL-CPU": DGL_CPU,
+    "PiPAD": PIPAD,
+}
+
+
+@lru_cache(maxsize=None)
+def get_platform_report(
+    platform: str, model_name: str, dataset: str
+) -> SimulationReport:
+    """Report for any named platform (baselines, software, TaGNN-S, TaGNN)."""
+    if platform == "TaGNN":
+        return get_tagnn_report(model_name, dataset)
+    model = get_model(model_name, dataset)
+    graph = get_graph(dataset)
+    wl = get_workload(model_name, dataset)
+    if platform == "TaGNN-S":
+        return TAGNN_S.simulate(
+            model, graph, dataset,
+            engine_result=get_concurrent(model_name, dataset), workload=wl,
+        )
+    ref = get_reference(model_name, dataset)
+    return _PLATFORMS[platform].simulate(
+        model, graph, dataset, metrics=ref.metrics, workload=wl
+    )
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,53 @@
+"""Plain-text rendering of reproduced tables/figures.
+
+Every bench prints its reproduced table/series through these helpers and
+also archives it under ``benchmarks/results/`` so EXPERIMENTS.md can
+quote the exact artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "save_result", "RESULTS_DIR"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width text table with a title rule."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def save_result(name: str, text: str) -> str:
+    """Print a rendered artefact and archive it under benchmarks/results."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text)
+    print("\n" + text)
+    return path

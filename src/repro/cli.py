@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``datasets``
+    Print the Table-2 registry (paper stats + synthetic stand-ins).
+``classify``
+    Vertex classification / affected-subgraph statistics for a window.
+``simulate``
+    Run the TaGNN simulator on one (model, dataset) cell and print the
+    latency/energy report with the component breakdown.
+``compare``
+    Simulate every platform on one cell and print the speedup/energy
+    table (one row of Figs. 9-11).
+``accuracy``
+    Exact vs cell-skipping accuracy on one cell (one cell of Table 5).
+``stats``
+    Temporal profile of a dataset (overlap, churn, unaffected ratios).
+``generate``
+    Generate a synthetic dataset and save it as a ``.npz`` archive.
+
+All commands are deterministic for fixed arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="TaGNN reproduction command-line interface",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the dataset registry")
+
+    c = sub.add_parser("classify", help="window classification statistics")
+    _common(c)
+    c.add_argument("--window", type=int, default=4)
+
+    s = sub.add_parser("simulate", help="run the TaGNN simulator")
+    _common(s)
+    s.add_argument("--model", default="T-GCN")
+    s.add_argument("--window", type=int, default=4)
+    s.add_argument("--dcus", type=int, default=16)
+    s.add_argument("--macs", type=int, default=4096)
+    s.add_argument("--no-oadl", action="store_true")
+    s.add_argument("--no-adsc", action="store_true")
+
+    cmp_ = sub.add_parser("compare", help="compare all platforms on one cell")
+    _common(cmp_)
+    cmp_.add_argument("--model", default="T-GCN")
+
+    a = sub.add_parser("accuracy", help="accuracy cost of cell skipping")
+    _common(a)
+    a.add_argument("--model", default="T-GCN")
+    a.add_argument("--classes", type=int, default=4)
+
+    st_ = sub.add_parser("stats", help="temporal profile of a dataset")
+    _common(st_)
+    st_.add_argument("--window", type=int, default=4)
+
+    gen = sub.add_parser("generate", help="generate a dataset and save it")
+    _common(gen)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    return p
+
+
+def _common(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--dataset", default="GT", help="HP|GT|ML|EP|FK")
+    sp.add_argument("--snapshots", type=int, default=8)
+    sp.add_argument("--hidden", type=int, default=32)
+    sp.add_argument("--seed", type=int, default=3)
+
+
+# ----------------------------------------------------------------------
+def cmd_datasets(args) -> int:
+    from .bench.report import render_table
+    from .graphs import DATASET_NAMES, dataset_spec, paper_stats
+
+    rows = []
+    for name in DATASET_NAMES:
+        ps = paper_stats(name)
+        spec = dataset_spec(name)
+        rows.append(
+            [ps.abbrev, ps.name, f"{ps.num_vertices:,}", f"{ps.num_edges:,}",
+             ps.dim, ps.num_snapshots, spec.num_vertices, spec.num_edges,
+             spec.dim]
+        )
+    print(
+        render_table(
+            "Datasets (paper | synthetic stand-in)",
+            ["key", "name", "#V", "#E", "dim", "#snaps",
+             "synth #V", "synth #E", "synth dim"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from .analysis import classify_window, extract_affected_subgraph
+    from .graphs import load_dataset
+
+    g = load_dataset(args.dataset, num_snapshots=args.snapshots, seed=args.seed)
+    window = g.window(0, min(args.window, g.num_snapshots))
+    c = classify_window(window)
+    sg = extract_affected_subgraph(window, c)
+    print(f"dataset {args.dataset}: {g.num_vertices} vertices, "
+          f"window of {window.num_snapshots} snapshots")
+    for k, v in c.counts().items():
+        print(f"  {k:>10}: {v:6d}  ({100 * v / g.num_vertices:.1f}%)")
+    st = sg.stats()
+    print(f"  affected subgraph: {st['subgraph_vertices']} vertices "
+          f"({100 * st['subgraph_fraction']:.1f}%), {st['roots']} stable roots")
+    return 0
+
+
+def _make(args):
+    from .graphs import load_dataset
+    from .models import make_model
+
+    g = load_dataset(args.dataset, num_snapshots=args.snapshots, seed=args.seed)
+    m = make_model(args.model, g.dim, args.hidden, seed=args.seed)
+    return g, m
+
+
+def cmd_simulate(args) -> int:
+    from .accel import TaGNNConfig, TaGNNSimulator
+
+    g, m = _make(args)
+    cfg = TaGNNConfig(
+        num_dcus=args.dcus,
+        cpes_per_dcu=max(1, args.macs // args.dcus),
+        window_size=args.window,
+        enable_oadl=not args.no_oadl,
+        enable_adsc=not args.no_adsc,
+    )
+    rep = TaGNNSimulator(cfg).simulate(m, g, args.dataset)
+    print(f"TaGNN ({cfg.total_macs} MACs, {cfg.num_dcus} DCUs, "
+          f"window {cfg.window_size}) on {args.model}/{args.dataset}:")
+    print(f"  latency : {rep.seconds * 1e6:10.1f} us  ({rep.cycles:,.0f} cycles)")
+    print(f"  energy  : {rep.joules * 1e3:10.3f} mJ  (avg {rep.watts:.1f} W)")
+    print(f"  off-chip: {rep.extra['words']:,.0f} words, "
+          f"{rep.extra['randoms']:,.0f} random accesses")
+    print("  breakdown (cycles):")
+    for k, v in rep.breakdown.items():
+        print(f"    {k:>8}: {v:12,.0f}")
+    print(f"  skip ratio {rep.extra['skip_ratio']:.2f}, "
+          f"imbalance {rep.extra['imbalance']:.2f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .accel import (
+        ACCELERATOR_BASELINES,
+        DGL_CPU,
+        PIPAD,
+        TAGNN_S,
+        TaGNNSimulator,
+        WorkloadStats,
+    )
+    from .bench.report import render_table
+    from .engine import ReferenceEngine
+
+    g, m = _make(args)
+    ref = ReferenceEngine(m, window_size=4).run(g)
+    wl = WorkloadStats.analyze(g, m, 4)
+    tagnn = TaGNNSimulator().simulate(m, g, args.dataset, workload=wl)
+    rows = []
+    platforms = {
+        **ACCELERATOR_BASELINES, "DGL-CPU": DGL_CPU, "PiPAD": PIPAD,
+    }
+    for name, p in platforms.items():
+        r = p.simulate(m, g, args.dataset, metrics=ref.metrics, workload=wl)
+        rows.append([name, r.seconds * 1e6, tagnn.speedup_over(r),
+                     r.joules * 1e3, tagnn.energy_saving_over(r)])
+    r = TAGNN_S.simulate(m, g, args.dataset, workload=wl)
+    rows.append(["TaGNN-S", r.seconds * 1e6, tagnn.speedup_over(r),
+                 r.joules * 1e3, tagnn.energy_saving_over(r)])
+    rows.append(["TaGNN", tagnn.seconds * 1e6, 1.0, tagnn.joules * 1e3, 1.0])
+    print(
+        render_table(
+            f"All platforms — {args.model} on {args.dataset}",
+            ["platform", "time (us)", "TaGNN speedup", "energy (mJ)",
+             "TaGNN saving"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_accuracy(args) -> int:
+    from .engine import ConcurrentEngine, ReferenceEngine
+    from .models import evaluate_accuracy, fit_readout, make_teacher_labels
+
+    g, m = _make(args)
+    ref = ReferenceEngine(m, window_size=4).run(g)
+    skip = ConcurrentEngine(m, window_size=4).run(g)
+    labels = make_teacher_labels(g, args.classes)
+    readout = fit_readout(ref.outputs, labels, g)
+    a_ref = evaluate_accuracy(ref.outputs, labels, g, readout=readout)
+    a_skip = evaluate_accuracy(skip.outputs, labels, g, readout=readout)
+    print(f"{args.model} on {args.dataset} ({args.classes}-class teacher task):")
+    print(f"  exact inference : {a_ref:.1%}")
+    print(f"  with skipping   : {a_skip:.1%}  "
+          f"(loss {100 * (a_ref - a_skip):+.2f} points, "
+          f"skip ratio {skip.metrics.skip_ratio():.2f})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .analysis import temporal_profile
+    from .graphs import load_dataset
+
+    g = load_dataset(args.dataset, num_snapshots=args.snapshots, seed=args.seed)
+    profile = temporal_profile(g, window=args.window)
+    print(f"temporal profile of {args.dataset}:")
+    for k, v in profile.items():
+        if k == "unaffected_ratio_by_window":
+            for w, r in v.items():
+                print(f"  unaffected ratio (window {w}): {r:.1%}")
+        else:
+            print(f"  {k}: {v}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .graphs import load_dataset, save_dynamic_graph
+
+    g = load_dataset(
+        args.dataset,
+        scale=args.scale,
+        num_snapshots=args.snapshots,
+        seed=args.seed,
+    )
+    save_dynamic_graph(g, args.out)
+    print(f"wrote {args.out}: {g.stats()}")
+    return 0
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "classify": cmd_classify,
+    "simulate": cmd_simulate,
+    "compare": cmd_compare,
+    "accuracy": cmd_accuracy,
+    "generate": cmd_generate,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

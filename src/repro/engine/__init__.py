@@ -1,0 +1,16 @@
+"""Execution engines: the conventional reference and TaGNN-S."""
+
+from .concurrent import ConcurrentEngine
+from .metrics import WORD_BYTES, ExecutionMetrics
+from .reference import EngineResult, ReferenceEngine
+from .streaming import StreamingInference, StreamResult
+
+__all__ = [
+    "ConcurrentEngine",
+    "ExecutionMetrics",
+    "WORD_BYTES",
+    "EngineResult",
+    "ReferenceEngine",
+    "StreamingInference",
+    "StreamResult",
+]

@@ -1,0 +1,172 @@
+"""Streaming (push-based) DGNN inference.
+
+Production dynamic-graph services do not hold the whole history in
+memory: snapshots arrive one at a time and results must come out with
+bounded latency.  :class:`StreamingInference` wraps the TaGNN-S engine
+in a push API:
+
+- ``push(snapshot)`` appends one snapshot; once a full window has
+  accumulated, the window is processed (classification, multi-snapshot
+  GNN, similarity-gated cell updates) and the per-snapshot results come
+  back;
+- ``flush()`` processes a trailing partial window;
+- recurrent state, the last GNN output, and weight-evolution state carry
+  across windows exactly as in the batch engine — a test invariant is
+  that pushing snapshot-by-snapshot produces **the same outputs** as one
+  batch run over the whole sequence.
+
+Internally each complete window is re-packed into a ``DynamicGraph`` and
+driven through :class:`ConcurrentEngine`'s window path, so all batching
+semantics live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import CSRSnapshot
+from ..models.base import DGNNModel
+from ..skipping.policy import SkipThresholds
+from .concurrent import ConcurrentEngine
+from .metrics import ExecutionMetrics
+
+__all__ = ["StreamingInference", "StreamResult"]
+
+
+@dataclass
+class StreamResult:
+    """Outputs released by one push/flush call."""
+
+    timestamps: list[int]
+    outputs: list[np.ndarray]
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+
+
+class StreamingInference:
+    """Push-based wrapper around the topology-aware concurrent engine."""
+
+    def __init__(
+        self,
+        model: DGNNModel,
+        *,
+        window_size: int = 4,
+        thresholds: SkipThresholds | None = None,
+        enable_skipping: bool = True,
+    ):
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.model = model
+        self.window_size = window_size
+        self._engine = ConcurrentEngine(
+            model,
+            window_size=window_size,
+            thresholds=thresholds,
+            enable_skipping=enable_skipping,
+        )
+        self._pending: list[CSRSnapshot] = []
+        self._timestamp = 0
+        self._window_index = 0
+        self._metrics = ExecutionMetrics()
+        # carried engine state (mirrors ConcurrentEngine.run locals)
+        self._state = None
+        self._cache = None
+        self._h_prev: np.ndarray | None = None
+        self._z_prev: np.ndarray | None = None
+        self._snap_prev: CSRSnapshot | None = None
+        self._first = True
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Snapshots buffered but not yet processed."""
+        return len(self._pending)
+
+    @property
+    def metrics(self) -> ExecutionMetrics:
+        """Aggregate counters over everything processed so far."""
+        return self._metrics
+
+    def push(self, snapshot: CSRSnapshot) -> StreamResult | None:
+        """Append one snapshot; returns results when a window completes."""
+        if self._h_prev is not None and (
+            snapshot.num_vertices != len(self._h_prev)
+        ):
+            raise ValueError("snapshot vertex count changed mid-stream")
+        self._pending.append(snapshot)
+        if len(self._pending) < self.window_size:
+            return None
+        return self._process_window()
+
+    def flush(self) -> StreamResult | None:
+        """Process a trailing partial window (end of stream)."""
+        if not self._pending:
+            return None
+        return self._process_window()
+
+    # ------------------------------------------------------------------
+    def _process_window(self) -> StreamResult:
+        from ..analysis.classify import classify_window
+        from ..analysis.subgraph import extract_affected_subgraph
+        from ..models.rnn import IdentityCell
+        from ..skipping.delta import DeltaCellCache
+
+        snaps = self._pending
+        self._pending = []
+        first_ts = self._timestamp
+        window = DynamicGraph(list(snaps), name=f"stream[{first_ts}]")
+        for off, s in enumerate(window.snapshots):
+            s.timestamp = first_ts + off
+        self._timestamp += len(snaps)
+
+        engine = self._engine
+        model = self.model
+        n = window.num_vertices
+        if self._state is None:
+            self._state = model.init_state(n)
+            self._cache = (
+                None
+                if isinstance(model.cell, IdentityCell)
+                else DeltaCellCache(model.cell, n)
+            )
+            self._h_prev = np.zeros((n, model.out_dim), dtype=np.float32)
+
+        if hasattr(model, "advance_window"):
+            model.advance_window(self._window_index)
+
+        m = ExecutionMetrics()
+        cls = classify_window(window)
+        subgraph = extract_affected_subgraph(window, cls)
+        engine._account_overhead(m, window, subgraph)
+        zs = engine._gnn_window(m, window, cls)
+
+        outputs: list[np.ndarray] = []
+        decisions: list = []
+        for t, snap in enumerate(window):
+            self._h_prev, self._state = engine._rnn_step(
+                m,
+                snap,
+                zs[t],
+                self._z_prev,
+                self._snap_prev,
+                self._state,
+                self._cache,
+                cls,
+                self._h_prev,
+                first=self._first or (t == 0 and engine.refresh_each_window),
+                decisions=decisions,
+            )
+            outputs.append(self._h_prev.copy())
+            self._z_prev, self._snap_prev = zs[t], snap
+            self._first = False
+            m.snapshots_processed += 1
+        m.windows_processed += 1
+        self._window_index += 1
+        self._metrics = self._metrics.merge(m)
+        return StreamResult(
+            timestamps=list(range(first_ts, self._timestamp)),
+            outputs=outputs,
+            metrics=m,
+        )

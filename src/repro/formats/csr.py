@@ -1,0 +1,79 @@
+"""Per-snapshot CSR — the conventional baseline format (TaGNN-CSR).
+
+This is how prior systems (RACE, DiGraph, and the paper's software
+baselines) store a window: one independent CSR per snapshot, with every
+touched vertex's feature vector duplicated into every snapshot.  Gathering
+one source's neighbourhood across a K-snapshot window therefore costs K
+row lookups (K random accesses) and K separate feature reads — exactly the
+redundancy O-CSR removes (paper Section 3.1 and Fig. 13(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.snapshot import build_csr
+from .base import AccessCost, MultiSnapshotStorage, WindowSelection
+
+__all__ = ["SnapshotCSRStorage"]
+
+_WORD = 4  # bytes per id/feature word; all formats use the same word size
+
+
+class SnapshotCSRStorage(MultiSnapshotStorage):
+    """One CSR per snapshot, features duplicated per snapshot."""
+
+    name = "CSR"
+
+    def __init__(self, selection: WindowSelection):
+        super().__init__(selection)
+        e = selection.edges()
+        n = selection.window.num_vertices
+        self._per_snapshot: list[tuple[np.ndarray, np.ndarray]] = []
+        self._touched_per_snapshot: list[np.ndarray] = []
+        for k in range(selection.num_snapshots):
+            mask = e[:, 2] == k
+            indptr, indices = build_csr(n, e[mask, 0], e[mask, 1])
+            self._per_snapshot.append((indptr, indices))
+            touched = np.unique(
+                np.concatenate([e[mask, 0], e[mask, 1], selection.sources])
+            )
+            self._touched_per_snapshot.append(touched)
+
+    # ------------------------------------------------------------------
+    def gather(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        tgts, tss = [], []
+        for k, (indptr, indices) in enumerate(self._per_snapshot):
+            row = indices[indptr[source] : indptr[source + 1]]
+            if row.size:
+                tgts.append(row.astype(np.int64))
+                tss.append(np.full(row.size, k, dtype=np.int64))
+        if not tgts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(tgts), np.concatenate(tss)
+
+    def storage_bytes(self) -> int:
+        dim = self.selection.window.dim
+        total = 0
+        for (indptr, indices), touched in zip(
+            self._per_snapshot, self._touched_per_snapshot
+        ):
+            total += indptr.nbytes + indices.nbytes
+            total += len(touched) * dim * _WORD  # duplicated feature rows
+        return total
+
+    def scan_cost(self) -> AccessCost:
+        """K row lookups per source (random) + row words + per-snapshot
+        feature reads for source and targets (random per row, the rows are
+        scattered in the per-snapshot feature tables)."""
+        cost = AccessCost()
+        dim = self.selection.window.dim
+        for indptr, indices in self._per_snapshot:
+            srcs = self.selection.sources
+            deg = (indptr[srcs + 1] - indptr[srcs]).astype(np.int64)
+            # one random access into the row + stream the row
+            cost.add(randoms=len(srcs), words=int(deg.sum()))
+            # source feature (random) + one random per neighbour feature
+            cost.add(randoms=len(srcs) + int(deg.sum()))
+            cost.add(words=(len(srcs) + int(deg.sum())) * dim)
+        return cost

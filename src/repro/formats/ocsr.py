@@ -1,0 +1,250 @@
+"""O-CSR: Overlap-aware Compressed Sparse Row (the paper's format).
+
+O-CSR stores the affected subgraph of a K-snapshot window in five arrays
+(paper Fig. 4(c)):
+
+* ``sindex`` — source vertex id of each run (plus the paper's extra entry
+  holding the total vertex count);
+* ``tindex`` — target ids, all K snapshots of a source stored contiguously;
+* ``timestamp`` — snapshot offset of each target entry;
+* ``enum`` — edges per source across the window (run lengths);
+* feature table — one row per *distinct* ``(vertex, version)``: a vertex
+  whose feature never changes in the window (stable/unaffected) is stored
+  exactly once, an affected vertex once per change.
+
+Gathering one source's whole cross-snapshot neighbourhood is one random
+access plus a contiguous stream — versus K random row lookups for
+per-snapshot CSR — and the deduplicated feature table removes the
+per-snapshot feature copies.  Both effects are what Fig. 13(b) measures.
+
+The structure also supports the dynamic maintenance the paper claims
+(insert / delete edges, feature updates) via vectorised splice operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AccessCost, MultiSnapshotStorage, WindowSelection
+
+__all__ = ["OCSRStorage"]
+
+_WORD = 4
+
+
+class OCSRStorage(MultiSnapshotStorage):
+    """The Overlap-aware CSR of TaGNN."""
+
+    name = "O-CSR"
+
+    def __init__(self, selection: WindowSelection):
+        super().__init__(selection)
+        e = selection.edges()  # sorted by (source, timestamp, target)
+        self.sindex = np.unique(e[:, 0]) if e.size else np.empty(0, dtype=np.int64)
+        # run lengths (enum) and offsets
+        if e.size:
+            counts = np.bincount(
+                np.searchsorted(self.sindex, e[:, 0]), minlength=len(self.sindex)
+            )
+        else:
+            counts = np.zeros(0, dtype=np.int64)
+        self.enum = counts.astype(np.int64)
+        self.offsets = np.zeros(len(self.sindex) + 1, dtype=np.int64)
+        np.cumsum(self.enum, out=self.offsets[1:])
+        self.tindex = e[:, 1].copy()
+        self.timestamp = e[:, 2].copy()
+        self._build_feature_table()
+
+    # ------------------------------------------------------------------
+    def _build_feature_table(self) -> None:
+        """Deduplicated feature rows: one per (vertex, distinct version)."""
+        versions = self.selection.feature_versions()
+        snaps = self.selection.window.snapshots
+        fv_vertex, fv_start, rows = [], [], []
+        for v in sorted(versions):
+            for k in versions[v]:
+                fv_vertex.append(v)
+                fv_start.append(k)
+                rows.append(snaps[k].features[v])
+        self.fv_vertex = np.asarray(fv_vertex, dtype=np.int64)
+        self.fv_start = np.asarray(fv_start, dtype=np.int64)
+        dim = self.selection.window.dim
+        self.feature_table = (
+            np.stack(rows).astype(np.float32)
+            if rows
+            else np.empty((0, dim), dtype=np.float32)
+        )
+        # row pointer per vertex for O(log) version lookup
+        self._fv_vertices, self._fv_ptr = np.unique(self.fv_vertex, return_index=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sources(self) -> int:
+        return len(self.sindex)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.tindex)
+
+    def run(self, source: int) -> slice:
+        """The contiguous [start, stop) slice of ``source``'s run."""
+        i = np.searchsorted(self.sindex, source)
+        if i >= len(self.sindex) or self.sindex[i] != source:
+            return slice(0, 0)
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+    def gather(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        sl = self.run(source)
+        return self.tindex[sl], self.timestamp[sl]
+
+    def feature_row(self, vertex: int, snapshot: int) -> np.ndarray:
+        """The feature version of ``vertex`` valid at ``snapshot`` —
+        the latest version whose start <= snapshot."""
+        i = np.searchsorted(self._fv_vertices, vertex)
+        if i >= len(self._fv_vertices) or self._fv_vertices[i] != vertex:
+            raise KeyError(f"vertex {vertex} not stored")
+        start = self._fv_ptr[i]
+        stop = (
+            self._fv_ptr[i + 1] if i + 1 < len(self._fv_ptr) else len(self.fv_vertex)
+        )
+        starts = self.fv_start[start:stop]
+        j = int(np.searchsorted(starts, snapshot, side="right")) - 1
+        if j < 0:
+            j = 0
+        return self.feature_table[start + j]
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        structure = (
+            (len(self.sindex) + 1) * _WORD  # sindex + total-count entry
+            + len(self.enum) * _WORD
+            + self.tindex.size * _WORD
+            + self.timestamp.size  # timestamps fit in a byte (K <= 255)
+        )
+        features = self.feature_table.size * _WORD
+        index = self.fv_vertex.size * 2 * _WORD  # (vertex, start) per row
+        return structure + features + index
+
+    def scan_cost(self) -> AccessCost:
+        """One random access per run, then a contiguous stream of targets,
+        timestamps, and the run's deduplicated feature rows."""
+        cost = AccessCost()
+        dim = self.selection.window.dim
+        # structure: 1 random per source run + stream (tindex+timestamp)
+        cost.add(randoms=self.num_sources, words=2 * self.num_entries)
+        # features: one random into the table region per run, then the
+        # deduplicated rows stream (each distinct (vertex, version) row is
+        # read once per run it appears in).
+        for i, s in enumerate(self.sindex.tolist()):
+            sl = slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+            pairs = np.unique(
+                self.tindex[sl] * np.int64(self.selection.num_snapshots)
+                + self._version_of(self.tindex[sl], self.timestamp[sl])
+            )
+            n_src_versions = self._num_versions(s)
+            cost.add(randoms=1, words=(len(pairs) + n_src_versions) * dim)
+        return cost
+
+    def _num_versions(self, vertex: int) -> int:
+        i = np.searchsorted(self._fv_vertices, vertex)
+        if i >= len(self._fv_vertices) or self._fv_vertices[i] != vertex:
+            return 0
+        stop = (
+            self._fv_ptr[i + 1] if i + 1 < len(self._fv_ptr) else len(self.fv_vertex)
+        )
+        return int(stop - self._fv_ptr[i])
+
+    def _version_of(self, vertices: np.ndarray, snapshots: np.ndarray) -> np.ndarray:
+        """Vectorised version index (0-based within vertex) for pairs."""
+        out = np.zeros(len(vertices), dtype=np.int64)
+        for j, (v, k) in enumerate(zip(vertices.tolist(), snapshots.tolist())):
+            i = np.searchsorted(self._fv_vertices, v)
+            if i >= len(self._fv_vertices) or self._fv_vertices[i] != v:
+                continue
+            start = self._fv_ptr[i]
+            stop = (
+                self._fv_ptr[i + 1]
+                if i + 1 < len(self._fv_ptr)
+                else len(self.fv_vertex)
+            )
+            starts = self.fv_start[start:stop]
+            jj = int(np.searchsorted(starts, k, side="right")) - 1
+            out[j] = max(jj, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # dynamic maintenance (paper: "efficiently accommodates dynamic
+    # changes, such as inserting, updating, and deleting edges and
+    # vertices, by adjusting the appropriate entries")
+    # ------------------------------------------------------------------
+    def insert_edge(self, source: int, target: int, snapshot: int) -> None:
+        """Splice one edge into the right run, keeping (source,
+        timestamp, target) order.  No-op if the entry already exists."""
+        if not 0 <= snapshot < self.selection.num_snapshots:
+            raise ValueError("snapshot out of window")
+        i = int(np.searchsorted(self.sindex, source))
+        new_source = i >= len(self.sindex) or self.sindex[i] != source
+        if new_source:
+            self.sindex = np.insert(self.sindex, i, source)
+            self.enum = np.insert(self.enum, i, 0)
+            self.offsets = np.insert(self.offsets, i, self.offsets[i])
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        run_ts, run_tg = self.timestamp[lo:hi], self.tindex[lo:hi]
+        key = run_ts * np.int64(self.selection.window.num_vertices) + run_tg
+        k = np.int64(snapshot) * self.selection.window.num_vertices + target
+        pos = int(np.searchsorted(key, k))
+        if pos < len(key) and key[pos] == k:
+            return  # duplicate
+        self.tindex = np.insert(self.tindex, lo + pos, target)
+        self.timestamp = np.insert(self.timestamp, lo + pos, snapshot)
+        self.enum[i] += 1
+        self.offsets[i + 1 :] += 1
+
+    def delete_edge(self, source: int, target: int, snapshot: int) -> bool:
+        """Remove one edge entry; returns whether it existed."""
+        i = int(np.searchsorted(self.sindex, source))
+        if i >= len(self.sindex) or self.sindex[i] != source:
+            return False
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        hit = np.flatnonzero(
+            (self.tindex[lo:hi] == target) & (self.timestamp[lo:hi] == snapshot)
+        )
+        if hit.size == 0:
+            return False
+        pos = lo + int(hit[0])
+        self.tindex = np.delete(self.tindex, pos)
+        self.timestamp = np.delete(self.timestamp, pos)
+        self.enum[i] -= 1
+        self.offsets[i + 1 :] -= 1
+        if self.enum[i] == 0:
+            self.sindex = np.delete(self.sindex, i)
+            self.enum = np.delete(self.enum, i)
+            self.offsets = np.delete(self.offsets, i + 1)
+        return True
+
+    def update_feature(self, vertex: int, snapshot: int, value: np.ndarray) -> None:
+        """Record a new feature version for ``vertex`` starting at
+        ``snapshot`` (overwrites an existing version at that snapshot)."""
+        value = np.asarray(value, dtype=np.float32)
+        if value.shape != (self.selection.window.dim,):
+            raise ValueError("feature dimension mismatch")
+        i = int(np.searchsorted(self._fv_vertices, vertex))
+        if i < len(self._fv_vertices) and self._fv_vertices[i] == vertex:
+            start = int(self._fv_ptr[i])
+            stop = (
+                int(self._fv_ptr[i + 1])
+                if i + 1 < len(self._fv_ptr)
+                else len(self.fv_vertex)
+            )
+            starts = self.fv_start[start:stop]
+            j = int(np.searchsorted(starts, snapshot))
+            if j < len(starts) and starts[j] == snapshot:
+                self.feature_table[start + j] = value
+                return
+            pos = start + j
+        else:
+            pos = int(np.searchsorted(self.fv_vertex, vertex))
+        self.fv_vertex = np.insert(self.fv_vertex, pos, vertex)
+        self.fv_start = np.insert(self.fv_start, pos, snapshot)
+        self.feature_table = np.insert(self.feature_table, pos, value, axis=0)
+        self._fv_vertices, self._fv_ptr = np.unique(self.fv_vertex, return_index=True)

@@ -1,0 +1,249 @@
+"""Loading *real* dynamic-graph traces from timestamped edge lists.
+
+The public datasets the paper uses (HepPh, Epinions, Flickr, …) are
+distributed as timestamped edge lists (SNAP / Network Repository style):
+one ``src dst timestamp`` triple per line.  This module turns such a
+stream into the snapshot representation the rest of the library consumes:
+
+1. edges are bucketed into ``num_snapshots`` equal-duration intervals
+   (or caller-provided boundaries — the paper's per-dataset granularity);
+2. each snapshot's edge set is the **sliding accumulation** of the last
+   ``retention`` buckets (an interaction stays visible for ``retention``
+   intervals, then expires — pure accumulation never removes edges and a
+   pure bucket view is too sparse; retention reproduces the add/remove
+   churn the paper's Fig. 3(a) measures);
+3. vertex features are synthesised from per-interval behaviour
+   (degree, activity recency) unless the trace provides features —
+   behaviour-derived features change exactly for the vertices whose
+   neighbourhood changed, matching how the paper's affected sets arise.
+
+So a real public trace can drive every experiment in this repository::
+
+    from repro.graphs import load_edge_list
+    g = load_edge_list("soc-epinions.txt", num_snapshots=12, dim=32)
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dynamic import DynamicGraph
+from .snapshot import FEAT_DTYPE, CSRSnapshot, build_csr
+
+__all__ = ["TemporalEdgeList", "parse_edge_list", "load_edge_list"]
+
+
+@dataclass(frozen=True)
+class TemporalEdgeList:
+    """A parsed timestamped edge list (global ids, sorted by time)."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    timestamp: np.ndarray
+    num_vertices: int
+
+    @property
+    def num_events(self) -> int:
+        return len(self.src)
+
+    def time_range(self) -> tuple[float, float]:
+        if self.num_events == 0:
+            raise ValueError("empty edge list")
+        return float(self.timestamp[0]), float(self.timestamp[-1])
+
+
+def parse_edge_list(
+    source,
+    *,
+    comment: str = "#",
+    relabel: bool = True,
+) -> TemporalEdgeList:
+    """Parse ``src dst timestamp`` lines from a path, file object, or
+    string.
+
+    Lines starting with ``comment`` are skipped; extra columns beyond the
+    third are ignored (many SNAP traces carry weights/ratings there).
+    With ``relabel`` (default) raw vertex ids are densely renumbered in
+    first-appearance order; otherwise ids are used as-is.
+    """
+    if isinstance(source, str) and "\n" in source:
+        fh = io.StringIO(source)
+        close = False
+    elif hasattr(source, "read"):
+        fh, close = source, False
+    else:
+        fh, close = open(source, "r"), True
+    try:
+        srcs, dsts, times = [], [], []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(
+                    f"need at least 'src dst timestamp' per line, got {line!r}"
+                )
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            times.append(float(parts[2]))
+    finally:
+        if close:
+            fh.close()
+    if not srcs:
+        raise ValueError("edge list contains no edges")
+
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    ts = np.asarray(times, dtype=np.float64)
+    order = np.argsort(ts, kind="stable")
+    src, dst, ts = src[order], dst[order], ts[order]
+
+    if relabel:
+        # dense relabel in first-appearance order (time order)
+        interleaved = np.empty(2 * len(src), dtype=np.int64)
+        interleaved[0::2] = src
+        interleaved[1::2] = dst
+        _, first_idx = np.unique(interleaved, return_index=True)
+        uniq_in_order = interleaved[np.sort(first_idx)]
+        mapping = {int(v): i for i, v in enumerate(uniq_in_order.tolist())}
+        src = np.array([mapping[int(v)] for v in src], dtype=np.int64)
+        dst = np.array([mapping[int(v)] for v in dst], dtype=np.int64)
+        n = len(mapping)
+    else:
+        n = int(max(src.max(), dst.max())) + 1
+    return TemporalEdgeList(src, dst, ts, n)
+
+
+def _synthesize_features(
+    edges_per_bucket: list[np.ndarray],
+    n: int,
+    dim: int,
+    seed: int,
+) -> list[np.ndarray]:
+    """Behaviour-derived features: a fixed random base per vertex plus a
+    drift term driven by the vertex's *activity level* (distinct partners
+    in the current bucket).
+
+    A vertex whose behaviour is steady — same partner count bucket after
+    bucket — keeps an identical feature vector, and an inactive vertex
+    keeps its previous one; only behaviour changes produce feature
+    changes.  Feature churn therefore coincides with structural churn,
+    which is exactly how the paper's affected sets arise in attributed
+    dynamic graphs.
+    """
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((n, dim)).astype(FEAT_DTYPE)
+    drift = rng.standard_normal((n, dim)).astype(FEAT_DTYPE)
+    feats: list[np.ndarray] = []
+    current = base.copy()
+    for edges in edges_per_bucket:
+        current = current.copy()
+        if len(edges):
+            deg = np.bincount(edges.reshape(-1), minlength=n).astype(np.float32)
+            active = np.flatnonzero(deg)
+            level = np.log1p(deg[active])
+            current[active] = base[active] + drift[active] * level[:, None]
+        feats.append(current)
+    return feats
+
+
+def load_edge_list(
+    source,
+    *,
+    num_snapshots: int = 10,
+    retention: int = 3,
+    dim: int = 32,
+    features: np.ndarray | None = None,
+    name: str = "edge-list",
+    seed: int = 0,
+    comment: str = "#",
+) -> DynamicGraph:
+    """Build a :class:`DynamicGraph` from a timestamped edge list.
+
+    Parameters
+    ----------
+    source:
+        Path, file object, or multi-line string of ``src dst ts`` rows.
+    num_snapshots:
+        Number of equal-duration time buckets.
+    retention:
+        Snapshot t shows the union of buckets ``(t-retention, t]`` — the
+        interaction-expiry window producing both edge additions *and*
+        removals.
+    dim / features / seed:
+        Feature synthesis (see :func:`_synthesize_features`), or a fixed
+        ``(n, dim)`` matrix to hold constant across snapshots.
+    """
+    if num_snapshots < 1:
+        raise ValueError("num_snapshots must be >= 1")
+    if retention < 1:
+        raise ValueError("retention must be >= 1")
+    tel = source if isinstance(source, TemporalEdgeList) else parse_edge_list(
+        source, comment=comment
+    )
+    n = tel.num_vertices
+    if features is not None and features.shape[0] != n:
+        raise ValueError(
+            f"features has {features.shape[0]} rows but the trace has {n} "
+            f"vertices after relabelling (parse first to learn n)"
+        )
+    t0, t1 = tel.time_range()
+    span = max(t1 - t0, 1e-9)
+    bucket = np.minimum(
+        ((tel.timestamp - t0) / span * num_snapshots).astype(np.int64),
+        num_snapshots - 1,
+    )
+
+    per_bucket: list[np.ndarray] = []
+    for b in range(num_snapshots):
+        m = bucket == b
+        lo = np.minimum(tel.src[m], tel.dst[m])
+        hi = np.maximum(tel.src[m], tel.dst[m])
+        ok = lo != hi
+        keys = np.unique(lo[ok] * np.int64(n) + hi[ok])
+        per_bucket.append(
+            np.stack([keys // n, keys % n], axis=1)
+            if keys.size
+            else np.empty((0, 2), dtype=np.int64)
+        )
+
+    feats_per_bucket = (
+        None if features is not None
+        else _synthesize_features(per_bucket, n, dim, seed)
+    )
+
+    snapshots = []
+    ever_seen = np.zeros(n, dtype=bool)
+    for t in range(num_snapshots):
+        window_edges = np.concatenate(
+            per_bucket[max(0, t - retention + 1) : t + 1]
+        )
+        if window_edges.size:
+            keys = np.unique(
+                window_edges[:, 0] * np.int64(n) + window_edges[:, 1]
+            )
+            lo, hi = keys // n, keys % n
+            src = np.concatenate([lo, hi])
+            dst = np.concatenate([hi, lo])
+        else:
+            src = dst = np.empty(0, dtype=np.int64)
+        indptr, indices = build_csr(n, src, dst)
+        ever_seen[np.unique(window_edges.reshape(-1))] = True
+        present = ever_seen.copy()
+        f = (
+            np.ascontiguousarray(features, dtype=FEAT_DTYPE)
+            if features is not None
+            else feats_per_bucket[t]
+        ).copy()
+        f[~present] = 0.0
+        snapshots.append(
+            CSRSnapshot(
+                indptr=indptr, indices=indices, features=f,
+                present=present, timestamp=t,
+            )
+        )
+    return DynamicGraph(snapshots, name=name)

@@ -1,0 +1,134 @@
+"""Update streams: the event-level view of a dynamic graph.
+
+Real systems receive dynamic graphs as a stream of update events rather
+than materialised snapshots.  This module converts between the two views:
+:func:`delta_to_events` flattens a :class:`~repro.graphs.dynamic.SnapshotDelta`
+into ordered :class:`UpdateEvent` records, and :func:`apply_events`
+replays events onto a snapshot to reconstruct its successor.  The round
+trip is exercised by property tests and by the O-CSR dynamic-maintenance
+benches (the paper notes O-CSR "efficiently accommodates dynamic changes,
+such as inserting, updating, and deleting edges and vertices").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dynamic import SnapshotDelta, snapshot_delta
+from .snapshot import CSRSnapshot, build_csr
+
+__all__ = ["UpdateKind", "UpdateEvent", "delta_to_events", "apply_events", "event_stream"]
+
+
+class UpdateKind(enum.Enum):
+    """The five event types a dynamic graph stream can carry."""
+
+    EDGE_INSERT = "edge_insert"
+    EDGE_DELETE = "edge_delete"
+    FEATURE_UPDATE = "feature_update"
+    VERTEX_ARRIVE = "vertex_arrive"
+    VERTEX_DEPART = "vertex_depart"
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One atomic change.
+
+    ``payload`` is ``(src, dst)`` for edge events, the new feature vector
+    for feature updates, and ``None`` for vertex arrival/departure (the
+    arrival feature travels in a separate FEATURE_UPDATE event).
+    """
+
+    kind: UpdateKind
+    vertex: int
+    payload: tuple[int, int] | np.ndarray | None = None
+
+
+def delta_to_events(
+    delta: SnapshotDelta, new_features: np.ndarray | None = None
+) -> list[UpdateEvent]:
+    """Flatten a delta into an ordered event list.
+
+    Ordering is: departures, edge deletions, arrivals, edge insertions,
+    feature updates — the order in which :func:`apply_events` can replay
+    them without referencing not-yet-arrived vertices.
+    """
+    events: list[UpdateEvent] = []
+    for v in delta.departed.tolist():
+        events.append(UpdateEvent(UpdateKind.VERTEX_DEPART, v))
+    for s, d in delta.removed_edges.tolist():
+        events.append(UpdateEvent(UpdateKind.EDGE_DELETE, s, (s, d)))
+    for v in delta.arrived.tolist():
+        events.append(UpdateEvent(UpdateKind.VERTEX_ARRIVE, v))
+    for s, d in delta.added_edges.tolist():
+        events.append(UpdateEvent(UpdateKind.EDGE_INSERT, s, (s, d)))
+    if new_features is not None:
+        touched = np.union1d(delta.feature_changed, delta.arrived)
+        for v in touched.tolist():
+            events.append(
+                UpdateEvent(UpdateKind.FEATURE_UPDATE, v, new_features[v].copy())
+            )
+    return events
+
+
+def apply_events(snap: CSRSnapshot, events: list[UpdateEvent]) -> CSRSnapshot:
+    """Replay events onto a snapshot, returning the successor snapshot.
+
+    The CSR is rebuilt once at the end (one O(m log m) pass) rather than
+    mutated per event — the vectorised idiom the HPC guide recommends over
+    incremental Python-level mutation.
+    """
+    n = snap.num_vertices
+    present = snap.present.copy()
+    features = snap.features.copy()
+    keys = set()
+    src = np.repeat(np.arange(n, dtype=np.int64), snap.degrees)
+    for k in (src * n + snap.indices.astype(np.int64)).tolist():
+        keys.add(int(k))
+
+    for ev in events:
+        if ev.kind is UpdateKind.VERTEX_DEPART:
+            present[ev.vertex] = False
+        elif ev.kind is UpdateKind.VERTEX_ARRIVE:
+            present[ev.vertex] = True
+        elif ev.kind is UpdateKind.EDGE_DELETE:
+            s, d = ev.payload  # type: ignore[misc]
+            keys.discard(s * n + d)
+        elif ev.kind is UpdateKind.EDGE_INSERT:
+            s, d = ev.payload  # type: ignore[misc]
+            keys.add(s * n + d)
+        elif ev.kind is UpdateKind.FEATURE_UPDATE:
+            features[ev.vertex] = ev.payload  # type: ignore[assignment]
+
+    # Departed vertices take their incident edges with them.
+    arr = np.fromiter(keys, dtype=np.int64, count=len(keys))
+    if arr.size:
+        s, d = arr // n, arr % n
+        arr = arr[present[s] & present[d]]
+        s, d = arr // n, arr % n
+    else:
+        s = d = np.empty(0, dtype=np.int64)
+    indptr, indices = build_csr(n, s, d)
+    features[~present] = 0.0  # canonical form: absent rows are zero
+    return CSRSnapshot(
+        indptr=indptr,
+        indices=indices,
+        features=features,
+        present=present,
+        timestamp=snap.timestamp + 1,
+    )
+
+
+def event_stream(graph) -> list[list[UpdateEvent]]:
+    """Per-step event lists for a whole :class:`DynamicGraph`.
+
+    ``result[t]`` transforms snapshot ``t`` into snapshot ``t + 1``.
+    """
+    out: list[list[UpdateEvent]] = []
+    for t in range(len(graph) - 1):
+        delta = snapshot_delta(graph[t], graph[t + 1])
+        out.append(delta_to_events(delta, new_features=graph[t + 1].features))
+    return out

@@ -1,0 +1,25 @@
+"""Hardware substrate: memory models, pipelines, compute units, energy."""
+
+from .energy import ASIC_1GHZ, CPU_XEON, FPGA_U280, GPU_A100, EnergyModel
+from .memory import WORD_BYTES, HBMModel, MemorySubsystem, OnChipBuffer
+from .pipeline import Pipeline, PipelineStage, overlap, serial
+from .units import AdderTree, MACArray, SimilarityCore
+
+__all__ = [
+    "EnergyModel",
+    "FPGA_U280",
+    "ASIC_1GHZ",
+    "GPU_A100",
+    "CPU_XEON",
+    "HBMModel",
+    "MemorySubsystem",
+    "OnChipBuffer",
+    "WORD_BYTES",
+    "Pipeline",
+    "PipelineStage",
+    "overlap",
+    "serial",
+    "AdderTree",
+    "MACArray",
+    "SimilarityCore",
+]

@@ -1,0 +1,132 @@
+"""Memory models: off-chip HBM and on-chip ping-pong buffers.
+
+The cycle model splits off-chip traffic into latency-bound *random*
+accesses and bandwidth-bound *streamed* words — the same two currencies
+as :mod:`repro.formats.base`, so format-level and accelerator-level
+numbers compose.  On-chip buffers track capacity, spill when a working
+set exceeds them (spills become extra HBM traffic), and model the
+paper's ping-pong double-buffering (load of tile *i+1* overlaps compute
+of tile *i*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HBMModel", "OnChipBuffer", "MemorySubsystem", "WORD_BYTES"]
+
+WORD_BYTES = 4
+
+
+@dataclass
+class HBMModel:
+    """Off-chip memory characterised by bandwidth and random latency.
+
+    Parameters
+    ----------
+    bandwidth_gbs:
+        Sustained sequential bandwidth in GB/s (Table 4 gives every
+        accelerator 256 GB/s HBM 2.0).
+    frequency_mhz:
+        The consuming fabric's clock — cycles are denominated in it.
+    random_latency_ns:
+        Full row-activation latency charged per random access.
+    """
+
+    bandwidth_gbs: float = 256.0
+    frequency_mhz: float = 225.0
+    random_latency_ns: float = 45.0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Streamed bytes deliverable per fabric cycle."""
+        return self.bandwidth_gbs * 1e9 / (self.frequency_mhz * 1e6)
+
+    @property
+    def words_per_cycle(self) -> float:
+        return self.bytes_per_cycle / WORD_BYTES
+
+    @property
+    def random_latency_cycles(self) -> float:
+        return self.random_latency_ns * 1e-9 * self.frequency_mhz * 1e6
+
+    def cycles(self, *, words: float = 0, randoms: float = 0) -> float:
+        """Cycles to move ``words`` streamed words plus ``randoms``
+        latency-bound accesses (latency overlaps bandwidth only up to the
+        number of independent banks; we charge them additively, the
+        conservative choice all platforms share)."""
+        return words / self.words_per_cycle + randoms * self.random_latency_cycles
+
+
+@dataclass
+class OnChipBuffer:
+    """A named on-chip SRAM buffer with optional ping-pong operation."""
+
+    name: str
+    capacity_bytes: int
+    ping_pong: bool = True
+    reads: int = 0
+    writes: int = 0
+    spill_words: int = 0
+
+    @property
+    def usable_bytes(self) -> int:
+        """Ping-pong halves the capacity visible to one phase."""
+        return self.capacity_bytes // 2 if self.ping_pong else self.capacity_bytes
+
+    def fits(self, words: int) -> bool:
+        return words * WORD_BYTES <= self.usable_bytes
+
+    def access(self, *, reads: int = 0, writes: int = 0) -> None:
+        """Record SRAM accesses (energy accounting)."""
+        self.reads += reads
+        self.writes += writes
+
+    def load_tile(self, words: int) -> int:
+        """Stage a working set of ``words``; returns the words that spill
+        to HBM because they do not fit."""
+        cap_words = self.usable_bytes // WORD_BYTES
+        spill = max(0, words - cap_words)
+        self.spill_words += spill
+        self.writes += min(words, cap_words)
+        return spill
+
+    def reset_counters(self) -> None:
+        self.reads = self.writes = self.spill_words = 0
+
+
+@dataclass
+class MemorySubsystem:
+    """The TaGNN on-chip buffer inventory (Table 4) plus the HBM port."""
+
+    hbm: HBMModel = field(default_factory=HBMModel)
+    buffers: dict[str, OnChipBuffer] = field(default_factory=dict)
+
+    @classmethod
+    def tagnn_default(cls, hbm: HBMModel | None = None) -> "MemorySubsystem":
+        """Buffer sizes exactly as listed in Table 4 for TaGNN."""
+        sizes = {
+            "feature_memory": 2 * 1024 * 1024,
+            "task_fifo": 256 * 1024,
+            "intermediate": 128 * 1024,
+            "ocsr_table": 1024 * 1024,
+            "structure_memory": 512 * 1024,
+            "output_buffer": 128 * 1024,
+        }
+        return cls(
+            hbm=hbm or HBMModel(),
+            buffers={k: OnChipBuffer(k, v) for k, v in sizes.items()},
+        )
+
+    def total_sram_bytes(self) -> int:
+        return sum(b.capacity_bytes for b in self.buffers.values())
+
+    def total_sram_accesses(self) -> int:
+        return sum(b.reads + b.writes for b in self.buffers.values())
+
+    def total_spill_words(self) -> int:
+        return sum(b.spill_words for b in self.buffers.values())
+
+    def reset_counters(self) -> None:
+        for b in self.buffers.values():
+            b.reset_counters()

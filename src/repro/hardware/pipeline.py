@@ -1,0 +1,100 @@
+"""Generic hardware-pipeline cycle modelling.
+
+TaGNN is built from deep pipelines (the MSDL's 6-stage loader, the
+5-stage TFSM traversal, the SCU's multi-stage similarity datapath).  The
+standard throughput model applies: a pipeline with per-item stage costs
+:math:`c_1..c_s` processes :math:`n` items in
+
+.. math:: \\text{fill} + (n - 1)\\cdot II,\\qquad
+          II = \\max_i c_i,\\ \\text{fill} = \\sum_i c_i
+
+Replicated stages (the paper replicates *Fetch_Neighbors* and
+*Fetch_Features* "to balance the pipeline design") divide their per-item
+cost by the replication factor.  ``overlap`` composes coarse phases that
+run in dataflow style (producer streams into consumer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineStage", "Pipeline", "overlap", "serial"]
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage.
+
+    ``cycles_per_item`` is the stage's cost for a single item;
+    ``replication`` parallel copies divide the *effective* initiation
+    cost (the paper's balanced-pipeline trick).
+    """
+
+    name: str
+    cycles_per_item: float
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_item < 0:
+            raise ValueError("stage cost must be non-negative")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+
+    @property
+    def effective_cycles(self) -> float:
+        return self.cycles_per_item / self.replication
+
+
+class Pipeline:
+    """A linear pipeline of stages."""
+
+    def __init__(self, name: str, stages: list[PipelineStage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.name = name
+        self.stages = list(stages)
+
+    @property
+    def initiation_interval(self) -> float:
+        """Cycles between successive item completions (the bottleneck
+        stage's effective cost)."""
+        return max(s.effective_cycles for s in self.stages)
+
+    @property
+    def fill_latency(self) -> float:
+        """Cycles for the first item to traverse every stage."""
+        return sum(s.effective_cycles for s in self.stages)
+
+    def cycles(self, num_items: int) -> float:
+        """Total cycles to stream ``num_items`` through the pipeline."""
+        if num_items < 0:
+            raise ValueError("num_items must be non-negative")
+        if num_items == 0:
+            return 0.0
+        return self.fill_latency + (num_items - 1) * self.initiation_interval
+
+    def bottleneck(self) -> PipelineStage:
+        """The stage limiting throughput."""
+        return max(self.stages, key=lambda s: s.effective_cycles)
+
+    def utilization(self, num_items: int) -> float:
+        """Fraction of stage-cycles doing useful work while processing
+        ``num_items`` (tends to 1 for long streams)."""
+        if num_items == 0:
+            return 0.0
+        busy = num_items * self.fill_latency
+        span = self.cycles(num_items) * len(self.stages) * self.initiation_interval
+        return min(1.0, busy / span) if span else 0.0
+
+
+def overlap(*phase_cycles: float) -> float:
+    """Dataflow composition: phases stream into each other, so the
+    overlapped span is the slowest phase (producer/consumer fully
+    pipelined — the paper's 'dataflow style of parallelism')."""
+    return max(phase_cycles) if phase_cycles else 0.0
+
+
+def serial(*phase_cycles: float) -> float:
+    """Sequential composition (no overlap) — what snapshot-by-snapshot
+    baselines do between GNN and RNN phases."""
+    return float(sum(phase_cycles))

@@ -1,0 +1,43 @@
+"""Numerically-safe activation functions shared by all model code.
+
+Kept tiny and dependency-free so the hardware Activation Unit model can
+reference the exact same functions the software engines execute (bit-for-
+bit agreement between `repro.engine` and `repro.accel` outputs is a test
+invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sigmoid", "tanh", "relu", "softmax", "ACTIVATIONS"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, computed stably for large |x|."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype, copy=False)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (NumPy's is already stable)."""
+    return np.tanh(x)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Row-stable softmax."""
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+ACTIVATIONS = {"sigmoid": sigmoid, "tanh": tanh, "relu": relu, "softmax": softmax}

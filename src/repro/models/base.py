@@ -1,0 +1,131 @@
+"""The DGNN model interface shared by engines, accelerator, and benches.
+
+A DGNN model (paper Fig. 1) is a GNN module producing per-snapshot output
+features :math:`Z^t`, followed by an RNN module whose cell update produces
+the final features :math:`H^t` from :math:`Z^t` and the previous state.
+The engines drive the two halves separately because everything TaGNN does
+— multi-snapshot GNN batching, similarity-gated cell skipping — happens at
+exactly that seam.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import CSRSnapshot
+from .layers import GCNStack
+from .rnn import RecurrentCell
+
+__all__ = ["DGNNModel"]
+
+
+class DGNNModel(abc.ABC):
+    """Abstract DGNN: a :class:`GCNStack` plus a :class:`RecurrentCell`.
+
+    Concrete models (CD-GCN, GC-LSTM, T-GCN) differ in layer counts and in
+    whether the recurrent cell itself consults the graph (GC-LSTM).
+    """
+
+    #: model name as used in the paper's figures
+    name: str = "abstract"
+
+    def __init__(self, gnn: GCNStack, cell: RecurrentCell):
+        self.gnn = gnn
+        self.cell = cell
+        if gnn.out_dim != cell.input_dim:
+            raise ValueError(
+                f"GNN out_dim {gnn.out_dim} != cell input_dim {cell.input_dim}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def in_dim(self) -> int:
+        """Expected input feature width."""
+        return self.gnn.in_dim
+
+    @property
+    def out_dim(self) -> int:
+        """Final feature width (the RNN hidden size)."""
+        return self.cell.hidden_dim
+
+    @property
+    def num_layers(self) -> int:
+        """Layer count as the paper counts it: GCN layers + 1 RNN module."""
+        return len(self.gnn.layers) + 1
+
+    # ------------------------------------------------------------------
+    def gnn_forward(self, snap: CSRSnapshot, x: np.ndarray | None = None) -> np.ndarray:
+        """GNN module on one snapshot: returns :math:`Z^t` (n, gnn.out_dim)."""
+        if x is None:
+            x = snap.features
+        return self.gnn.forward(snap, x)
+
+    def cell_step(self, z: np.ndarray, state, snap: CSRSnapshot | None = None):
+        """RNN module cell update: returns ``(H^t, new_state)``.
+
+        ``snap`` is consulted only by graph-aware cells (GC-LSTM); plain
+        cells ignore it.
+        """
+        return self.cell.step(z, state)
+
+    def init_state(self, num_vertices: int):
+        return self.cell.init_state(num_vertices)
+
+    def cell_step_rows(
+        self,
+        z: np.ndarray,
+        state,
+        rows: np.ndarray,
+        snap: CSRSnapshot | None = None,
+    ):
+        """Cell update restricted to ``rows``.
+
+        Returns ``(h_rows, state_rows)`` covering only ``rows`` — the
+        engines splice them into the global state.  ``z``/``state`` are
+        full-size.  Graph-aware cells override this (they need the whole
+        state for the recurrent convolution).
+        """
+        sub = type(state)(**{
+            k: getattr(state, k)[rows] for k in vars(state) if not k.startswith("_")
+        })
+        return self.cell.step(z[rows], sub)
+
+    def recurrent_drive(self, state, snap: CSRSnapshot | None = None) -> np.ndarray:
+        """The tensor actually multiplied by ``w_h`` in the cell — plain
+        ``state.h`` for standard cells; graph-aware cells override."""
+        return state.h
+
+    # ------------------------------------------------------------------
+    def forward_window(self, window: DynamicGraph, state=None):
+        """Exact snapshot-by-snapshot inference over a window.
+
+        Returns ``(outputs, final_state)`` where ``outputs[t]`` is
+        :math:`H^t` for every vertex.  This is the semantic ground truth
+        the approximate engines are compared against.
+        """
+        if state is None:
+            state = self.init_state(window.num_vertices)
+        outputs: list[np.ndarray] = []
+        for snap in window:
+            z = self.gnn_forward(snap)
+            h, state = self.cell_step(z, state, snap)
+            outputs.append(h)
+        return outputs, state
+
+    # ------------------------------------------------------------------
+    def gnn_flops(self, num_vertices: int, num_edges: int) -> int:
+        """MACs of the GNN module on one snapshot."""
+        return self.gnn.flops(num_vertices, num_edges)
+
+    def cell_flops(self, num_vertices: int) -> int:
+        """MACs of the RNN module cell update on one snapshot."""
+        return num_vertices * self.cell.flops_per_vertex()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(in={self.in_dim}, out={self.out_dim}, "
+            f"layers={self.num_layers})"
+        )

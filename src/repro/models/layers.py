@@ -1,0 +1,124 @@
+"""GCN layers — the GNN module of every paper model.
+
+One GCN layer performs the two operations the accelerator's DCU splits
+between its processing elements (paper Section 4):
+
+* **aggregation** (APE, adder trees): :math:`\\hat A X` with symmetric
+  normalisation, executed by :meth:`CSRSnapshot.aggregate`;
+* **combination** (CPE, MAC arrays): the dense projection :math:`(\\cdot) W`.
+
+Weights are created once from a seed and then frozen (reservoir-style, see
+DESIGN.md): the accuracy experiments measure degradation of approximate
+execution relative to exact execution of the *same* frozen model, which
+does not require trained weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.snapshot import CSRSnapshot
+from .activations import ACTIVATIONS
+
+__all__ = ["GCNLayer", "GCNStack", "glorot"]
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier-uniform initialisation (float32)."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(np.float32)
+
+
+@dataclass
+class GCNLayer:
+    """One graph-convolution layer ``act(Â X W + b)``."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    activation: str = "relu"
+
+    @classmethod
+    def create(
+        cls,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> "GCNLayer":
+        """Seeded construction; same seed -> identical weights."""
+        rng = np.random.default_rng(seed)
+        return cls(
+            weight=glorot(rng, in_dim, out_dim),
+            bias=np.zeros(out_dim, dtype=np.float32),
+            activation=activation,
+        )
+
+    @property
+    def in_dim(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weight.shape[1]
+
+    def combine(self, x: np.ndarray) -> np.ndarray:
+        """The dense half (CPE): ``x @ W + b`` without the activation."""
+        return x @ self.weight + self.bias
+
+    def forward(self, snap: CSRSnapshot, x: np.ndarray) -> np.ndarray:
+        """Full layer: aggregate over ``snap``, combine, activate.
+
+        Combination runs *before* aggregation when it shrinks the width
+        (``out_dim < in_dim``) — the standard FLOP-minimising order that
+        both the software engines and the accelerator use.
+        """
+        if x.shape[1] != self.in_dim:
+            raise ValueError(f"input width {x.shape[1]} != layer in_dim {self.in_dim}")
+        act = ACTIVATIONS[self.activation]
+        if self.out_dim < self.in_dim:
+            h = snap.aggregate(self.combine(x))
+        else:
+            h = self.combine(snap.aggregate(x))
+        return act(h).astype(np.float32, copy=False)
+
+    def flops(self, num_vertices: int, num_edges: int) -> int:
+        """MAC count of one forward pass (aggregation + combination)."""
+        combine = 2 * num_vertices * self.in_dim * self.out_dim
+        agg_dim = min(self.in_dim, self.out_dim)
+        aggregate = 2 * num_edges * agg_dim
+        return combine + aggregate
+
+
+class GCNStack:
+    """A stack of GCN layers — the full GNN module of one model."""
+
+    def __init__(self, dims: list[int], *, activation: str = "relu", seed: int = 0):
+        if len(dims) < 2:
+            raise ValueError("need at least [in_dim, out_dim]")
+        self.layers = [
+            GCNLayer.create(
+                dims[i], dims[i + 1], activation=activation, seed=seed + i
+            )
+            for i in range(len(dims) - 1)
+        ]
+
+    @property
+    def in_dim(self) -> int:
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.layers[-1].out_dim
+
+    def forward(self, snap: CSRSnapshot, x: np.ndarray) -> np.ndarray:
+        """Run every layer on one snapshot, producing :math:`Z^t`."""
+        h = x
+        for layer in self.layers:
+            h = layer.forward(snap, h)
+        return h
+
+    def flops(self, num_vertices: int, num_edges: int) -> int:
+        return sum(l.flops(num_vertices, num_edges) for l in self.layers)

@@ -1,0 +1,181 @@
+"""Dynamic link prediction — the paper's second motivating application.
+
+Given embeddings :math:`H^t`, predict which vertex pairs will be
+connected at :math:`t+1`.  As with the node-classification readout
+(`repro.models.readout`), the frozen reservoir embeddings need a trained
+decoder: a ridge model over the Hadamard product
+:math:`h_u \\odot h_v` is fitted on the *current* snapshot's edges (the
+deployed decoder), then evaluates true next-snapshot edges against
+sampled non-edges by ROC-AUC.
+
+This provides a second, structural accuracy axis for the approximation
+studies: cell skipping must preserve not only class labels (Table 5's
+node classification) but also the *relative geometry* of embeddings that
+link prediction depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import CSRSnapshot
+
+__all__ = [
+    "sample_negative_edges",
+    "auc_score",
+    "fit_link_decoder",
+    "link_prediction_auc",
+    "temporal_link_prediction_auc",
+]
+
+
+def fit_link_decoder(
+    embeddings: np.ndarray,
+    snap: CSRSnapshot,
+    *,
+    num_samples: int = 2000,
+    reg: float = 1e-2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Fit a ridge decoder ``w`` over Hadamard pair-features on the
+    current snapshot's edges (+1) vs sampled non-edges (-1)."""
+    rng = np.random.default_rng(seed)
+    edges = snap.edge_array()
+    if len(edges) == 0:
+        raise ValueError("snapshot has no edges to fit on")
+    take = min(num_samples, len(edges))
+    pos = edges[rng.choice(len(edges), size=take, replace=False)]
+    neg = sample_negative_edges(snap, take, rng=rng)
+    h = embeddings.astype(np.float64)
+    x = np.concatenate(
+        [h[pos[:, 0]] * h[pos[:, 1]], h[neg[:, 0]] * h[neg[:, 1]]]
+    )
+    xb = np.concatenate([x, np.ones((len(x), 1))], axis=1)
+    y = np.concatenate([np.ones(take), -np.ones(take)])
+    gram = xb.T @ xb
+    gram[np.diag_indices_from(gram)] += reg
+    return np.linalg.solve(gram, xb.T @ y)
+
+
+def sample_negative_edges(
+    snap: CSRSnapshot, num: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``num`` vertex pairs that are *not* edges of ``snap``
+    (both endpoints present, no self-loops).  Rejection sampling with a
+    bounded number of rounds; raises if the graph is too dense to find
+    enough non-edges."""
+    present = np.flatnonzero(snap.present)
+    if len(present) < 2:
+        raise ValueError("need at least two present vertices")
+    out: list[np.ndarray] = []
+    needed = num
+    for _ in range(20):
+        if needed <= 0:
+            break
+        u = rng.choice(present, size=2 * needed)
+        v = rng.choice(present, size=2 * needed)
+        ok = u != v
+        u, v = u[ok], v[ok]
+        is_edge = np.fromiter(
+            (snap.has_edge(int(a), int(b)) for a, b in zip(u, v)),
+            dtype=bool,
+            count=len(u),
+        )
+        good = np.stack([u[~is_edge], v[~is_edge]], axis=1)
+        out.append(good[:needed])
+        needed -= len(good[:needed])
+    if needed > 0:
+        raise ValueError("could not sample enough non-edges (graph too dense)")
+    return np.concatenate(out)[:num]
+
+
+def auc_score(pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
+    """ROC-AUC via the Mann-Whitney U statistic (ties counted half)."""
+    if len(pos_scores) == 0 or len(neg_scores) == 0:
+        raise ValueError("need both positive and negative scores")
+    all_scores = np.concatenate([pos_scores, neg_scores])
+    order = np.argsort(all_scores, kind="stable")
+    ranks = np.empty(len(all_scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(all_scores) + 1)
+    # average ranks for ties
+    sorted_scores = all_scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    n_pos, n_neg = len(pos_scores), len(neg_scores)
+    u = ranks[:n_pos].sum() - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def link_prediction_auc(
+    embeddings: np.ndarray,
+    next_snap: CSRSnapshot,
+    *,
+    decoder: np.ndarray | None = None,
+    num_samples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """AUC of predicting ``next_snap``'s edges from embeddings at ``t``.
+
+    Positives are sampled from the next snapshot's edges; negatives are
+    sampled non-edges of the same snapshot.  ``decoder`` is the trained
+    ridge weight from :func:`fit_link_decoder` (falls back to the raw
+    inner product when None).
+    """
+    rng = np.random.default_rng(seed)
+    edges = next_snap.edge_array()
+    if len(edges) == 0:
+        raise ValueError("next snapshot has no edges")
+    take = min(num_samples, len(edges))
+    pos = edges[rng.choice(len(edges), size=take, replace=False)]
+    neg = sample_negative_edges(next_snap, take, rng=rng)
+    h = embeddings.astype(np.float64)
+
+    def score(pairs: np.ndarray) -> np.ndarray:
+        feats = h[pairs[:, 0]] * h[pairs[:, 1]]
+        if decoder is None:
+            return feats.sum(axis=1)
+        fb = np.concatenate([feats, np.ones((len(feats), 1))], axis=1)
+        return fb @ decoder
+
+    return auc_score(score(pos), score(neg))
+
+
+def temporal_link_prediction_auc(
+    outputs: list[np.ndarray],
+    graph: DynamicGraph,
+    *,
+    decoder_outputs: list[np.ndarray] | None = None,
+    num_samples: int = 2000,
+    seed: int = 0,
+    warmup: int = 1,
+) -> float:
+    """Mean AUC over all (t -> t+1) transitions after ``warmup``.
+
+    The decoder is fitted per transition on the *current* snapshot using
+    ``decoder_outputs`` (default: ``outputs`` — pass the exact model's
+    embeddings here to hold the decoder fixed across approximation
+    variants, the deployment protocol)."""
+    if len(outputs) != graph.num_snapshots:
+        raise ValueError("outputs/snapshot count mismatch")
+    fit_on = decoder_outputs if decoder_outputs is not None else outputs
+    aucs = []
+    for t in range(warmup, graph.num_snapshots - 1):
+        w = fit_link_decoder(
+            fit_on[t], graph[t], num_samples=num_samples, seed=seed + t
+        )
+        aucs.append(
+            link_prediction_auc(
+                outputs[t], graph[t + 1],
+                decoder=w, num_samples=num_samples, seed=seed + t,
+            )
+        )
+    if not aucs:
+        raise ValueError("no transitions to evaluate (graph too short)")
+    return float(np.mean(aucs))

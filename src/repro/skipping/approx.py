@@ -1,0 +1,288 @@
+"""Prior RNN-approximation baselines compared in Table 5.
+
+The paper grafts three published approximation schemes onto TaGNN in
+place of its similarity-aware skipping and measures the accuracy damage:
+
+* **TaGNN-DR — DeltaRNN** (Gao et al., FPGA'18): delta-threshold inference.
+  Every step, input and hidden deltas below a threshold Θ are zeroed and
+  only the survivors update cached pre-activations.  Topology-blind: it
+  thresholds every vertex every step, so graph-structural change leaks
+  into the state unnoticed and the error accumulates.
+* **TaGNN-AM — ALSTM** (Jo et al.): approximate LSTM computing — hard
+  (piecewise-linear) sigmoid/tanh plus coarse fixed-point quantisation of
+  the gate pre-activations.
+* **TaGNN-AS — ATLAS** (Kreß et al.): approximate multipliers — modelled
+  as mantissa-truncated operands in the cell's matrix multiplies (the
+  truncated-multiplier family ATLAS builds on).
+
+All three apply to the RNN module only (the GNN module stays exact), per
+the papers they come from.  Each implements the same
+:class:`RNNApproximator` interface the accuracy benches drive.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..models.activations import sigmoid, tanh
+from ..models.rnn import (
+    ElmanCell,
+    GRUCell,
+    GRUState,
+    LSTMCell,
+    LSTMState,
+    RecurrentCell,
+)
+
+__all__ = [
+    "hard_sigmoid",
+    "hard_tanh",
+    "truncate_mantissa",
+    "quantize",
+    "generic_cell_step",
+    "RNNApproximator",
+    "ExactRNN",
+    "DeltaRNNApprox",
+    "ALSTMApprox",
+    "ATLASApprox",
+    "APPROXIMATORS",
+]
+
+
+# ----------------------------------------------------------------------
+# approximation primitives
+# ----------------------------------------------------------------------
+def hard_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Piecewise-linear sigmoid: ``clip(0.25 x + 0.5, 0, 1)``."""
+    return np.clip(0.25 * x + 0.5, 0.0, 1.0).astype(x.dtype, copy=False)
+
+
+def hard_tanh(x: np.ndarray) -> np.ndarray:
+    """Piecewise-linear tanh: ``clip(x, -1, 1)``."""
+    return np.clip(x, -1.0, 1.0).astype(x.dtype, copy=False)
+
+
+def truncate_mantissa(x: np.ndarray, bits: int) -> np.ndarray:
+    """Keep only the top ``bits`` mantissa bits of float32 values —
+    the operand rounding of a truncated hardware multiplier."""
+    if not 0 <= bits <= 23:
+        raise ValueError("bits must be in [0, 23]")
+    x32 = np.ascontiguousarray(x, dtype=np.float32)
+    raw = x32.view(np.uint32)
+    mask = np.uint32(0xFFFFFFFF) << np.uint32(23 - bits)
+    return (raw & mask).view(np.float32)
+
+
+def quantize(x: np.ndarray, step: float) -> np.ndarray:
+    """Uniform fixed-point quantisation with the given step size."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    return (np.round(x / step) * step).astype(np.float32, copy=False)
+
+
+def generic_cell_step(
+    cell: RecurrentCell,
+    x: np.ndarray,
+    state,
+    *,
+    matmul=np.matmul,
+    sig=sigmoid,
+    th=tanh,
+    pre_transform=None,
+):
+    """LSTM/GRU step parameterised by the arithmetic primitives.
+
+    The exact cells in :mod:`repro.models.rnn` are the special case
+    ``matmul=np.matmul, sig=sigmoid, th=tanh`` — a test invariant.
+    """
+    if isinstance(cell, LSTMCell):
+        d = cell.hidden_dim
+        pre = matmul(x, cell.w_x) + matmul(state.h, cell.w_h) + cell.bias
+        if pre_transform is not None:
+            pre = pre_transform(pre)
+        i = sig(pre[:, :d])
+        f = sig(pre[:, d : 2 * d])
+        g = th(pre[:, 2 * d : 3 * d])
+        o = sig(pre[:, 3 * d :])
+        c = (f * state.c + i * g).astype(np.float32, copy=False)
+        h = (o * th(c)).astype(np.float32, copy=False)
+        return h, LSTMState(h, c)
+    if isinstance(cell, GRUCell):
+        d = cell.hidden_dim
+        zx = matmul(x, cell.w_x) + cell.bias
+        zh = matmul(state.h, cell.w_h)
+        if pre_transform is not None:
+            zx, zh = pre_transform(zx), pre_transform(zh)
+        r = sig(zx[:, :d] + zh[:, :d])
+        z = sig(zx[:, d : 2 * d] + zh[:, d : 2 * d])
+        n = th(zx[:, 2 * d :] + r * zh[:, 2 * d :])
+        h = ((1.0 - z) * n + z * state.h).astype(np.float32, copy=False)
+        return h, GRUState(h)
+    if isinstance(cell, ElmanCell):
+        pre = matmul(x, cell.w_x) + matmul(state.h, cell.w_h) + cell.bias
+        if pre_transform is not None:
+            pre = pre_transform(pre)
+        h = th(pre).astype(np.float32, copy=False)
+        return h, GRUState(h)
+    raise TypeError(f"unsupported cell type {type(cell).__name__}")
+
+
+# ----------------------------------------------------------------------
+# the approximator interface + implementations
+# ----------------------------------------------------------------------
+class RNNApproximator(abc.ABC):
+    """A drop-in replacement for the exact cell update across a window."""
+
+    name: str = "abstract"
+
+    def start(self, cell: RecurrentCell, num_vertices: int) -> None:
+        """Reset any per-window caches (called once per window)."""
+
+    @abc.abstractmethod
+    def cell_step(self, cell: RecurrentCell, x: np.ndarray, state):
+        """One approximate cell update; same signature as the exact step."""
+
+
+class ExactRNN(RNNApproximator):
+    """The identity baseline (Table 5's 'Baseline' rows)."""
+
+    name = "Baseline"
+
+    def cell_step(self, cell: RecurrentCell, x: np.ndarray, state):
+        return cell.step(x, state)
+
+
+class DeltaRNNApprox(RNNApproximator):
+    """DeltaRNN delta-threshold inference (topology-blind)."""
+
+    name = "TaGNN-DR"
+
+    def __init__(self, threshold: float = 0.30):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self._zx = self._zh = self._x = self._h = None
+
+    def start(self, cell: RecurrentCell, num_vertices: int) -> None:
+        width = cell.w_x.shape[1]
+        self._zx = np.zeros((num_vertices, width), dtype=np.float32)
+        self._zh = np.zeros((num_vertices, width), dtype=np.float32)
+        self._x = np.zeros((num_vertices, cell.input_dim), dtype=np.float32)
+        self._h = np.zeros((num_vertices, cell.hidden_dim), dtype=np.float32)
+
+    def cell_step(self, cell: RecurrentCell, x: np.ndarray, state):
+        if self._zx is None or len(x) != len(self._zx):
+            self.start(cell, len(x))
+        dx = x - self._x
+        dx[np.abs(dx) <= self.threshold] = 0.0
+        h_prev = state.h
+        dh = h_prev - self._h
+        dh[np.abs(dh) <= self.threshold] = 0.0
+        self._zx += dx @ cell.w_x
+        self._zh += dh @ cell.w_h
+        self._x += dx
+        self._h += dh
+
+        if isinstance(cell, LSTMCell):
+            d = cell.hidden_dim
+            pre = self._zx + self._zh + cell.bias
+            i, f = sigmoid(pre[:, :d]), sigmoid(pre[:, d : 2 * d])
+            g, o = tanh(pre[:, 2 * d : 3 * d]), sigmoid(pre[:, 3 * d :])
+            c = (f * state.c + i * g).astype(np.float32)
+            h = (o * tanh(c)).astype(np.float32)
+            return h, LSTMState(h, c)
+        if isinstance(cell, GRUCell):
+            d = cell.hidden_dim
+            zx = self._zx + cell.bias
+            zh = self._zh
+            r = sigmoid(zx[:, :d] + zh[:, :d])
+            z = sigmoid(zx[:, d : 2 * d] + zh[:, d : 2 * d])
+            n = tanh(zx[:, 2 * d :] + r * zh[:, 2 * d :])
+            h = ((1.0 - z) * n + z * state.h).astype(np.float32)
+            return h, GRUState(h)
+        if isinstance(cell, ElmanCell):
+            h = tanh(self._zx + self._zh + cell.bias).astype(np.float32)
+            return h, GRUState(h)
+        raise TypeError(f"unsupported cell type {type(cell).__name__}")
+
+
+class ALSTMApprox(RNNApproximator):
+    """ALSTM: hard activations + fixed-point pre-activation quantisation."""
+
+    name = "TaGNN-AM"
+
+    def __init__(self, quant_step: float = 0.30):
+        self.quant_step = quant_step
+
+    def cell_step(self, cell: RecurrentCell, x: np.ndarray, state):
+        return generic_cell_step(
+            cell,
+            x,
+            state,
+            sig=hard_sigmoid,
+            th=hard_tanh,
+            pre_transform=lambda p: quantize(p, self.quant_step),
+        )
+
+
+class ATLASApprox(RNNApproximator):
+    """ATLAS: approximate (truncated-operand) multipliers in the cell.
+
+    *Every* multiplier in the unit is approximate — the gate matmuls and
+    the element-wise state products (``f*c``, ``i*g``, ``o*tanh``, …).
+    The element-wise ones matter most: their error re-enters the
+    recurrent state and compounds across snapshots, which is exactly the
+    accumulation the paper's accuracy comparison penalises.
+    """
+
+    name = "TaGNN-AS"
+
+    def __init__(self, mantissa_bits: int = 1):
+        if not 0 <= mantissa_bits <= 23:
+            raise ValueError("mantissa_bits in [0, 23]")
+        self.mantissa_bits = mantissa_bits
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return truncate_mantissa(a, self.mantissa_bits) @ truncate_mantissa(
+            b, self.mantissa_bits
+        )
+
+    def _mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return truncate_mantissa(
+            np.asarray(a, dtype=np.float32), self.mantissa_bits
+        ) * truncate_mantissa(np.asarray(b, dtype=np.float32), self.mantissa_bits)
+
+    def cell_step(self, cell: RecurrentCell, x: np.ndarray, state):
+        mul = self._mul
+        if isinstance(cell, LSTMCell):
+            d = cell.hidden_dim
+            pre = self._matmul(x, cell.w_x) + self._matmul(state.h, cell.w_h) + cell.bias
+            i, f = sigmoid(pre[:, :d]), sigmoid(pre[:, d : 2 * d])
+            g, o = tanh(pre[:, 2 * d : 3 * d]), sigmoid(pre[:, 3 * d :])
+            c = (mul(f, state.c) + mul(i, g)).astype(np.float32)
+            h = mul(o, tanh(c)).astype(np.float32)
+            return h, LSTMState(h, c)
+        if isinstance(cell, GRUCell):
+            d = cell.hidden_dim
+            zx = self._matmul(x, cell.w_x) + cell.bias
+            zh = self._matmul(state.h, cell.w_h)
+            r = sigmoid(zx[:, :d] + zh[:, :d])
+            z = sigmoid(zx[:, d : 2 * d] + zh[:, d : 2 * d])
+            n = tanh(zx[:, 2 * d :] + mul(r, zh[:, 2 * d :]))
+            h = (mul(1.0 - z, n) + mul(z, state.h)).astype(np.float32)
+            return h, GRUState(h)
+        if isinstance(cell, ElmanCell):
+            pre = self._matmul(x, cell.w_x) + self._matmul(state.h, cell.w_h)
+            h = tanh(pre + cell.bias).astype(np.float32)
+            return h, GRUState(h)
+        raise TypeError(f"unsupported cell type {type(cell).__name__}")
+
+
+APPROXIMATORS: dict[str, type[RNNApproximator]] = {
+    "Baseline": ExactRNN,
+    "TaGNN-DR": DeltaRNNApprox,
+    "TaGNN-AM": ALSTMApprox,
+    "TaGNN-AS": ATLASApprox,
+}

@@ -1,0 +1,102 @@
+r"""The similarity-aware cell-skipping policy (paper Section 3.1).
+
+For every stable/affected vertex the policy maps its similarity score
+:math:`\theta` to one of three cell-update modes:
+
+* :math:`\theta > \theta_e` → **SKIP**: reuse the previous snapshot's
+  final feature and recurrent state unchanged;
+* :math:`\theta_s \le \theta \le \theta_e` → **DELTA**: partial update —
+  thresholded output-feature deltas pass through the Condense Unit and a
+  first-order cell update (see :mod:`repro.skipping.delta`);
+* :math:`\theta < \theta_s` → **FULL**: the normal RNN cell update.
+
+Unaffected vertices are implicitly SKIP (they are not even scored — the
+engine never regenerates their tasks).  The paper's Fig. 14(a) finds
+:math:`[\theta_s, \theta_e] = [-0.5, 0.5]` optimal; those are the
+defaults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CellUpdateMode", "SkipThresholds", "SkippingPolicy", "ModeDecision"]
+
+
+class CellUpdateMode(enum.IntEnum):
+    """The three cell-update modes of the Adaptive RNN Unit."""
+
+    FULL = 0
+    DELTA = 1
+    SKIP = 2
+
+
+@dataclass(frozen=True)
+class SkipThresholds:
+    r"""The :math:`(\theta_s, \theta_e)` pair; must satisfy
+    ``-1 <= theta_s <= theta_e <= 1``."""
+
+    theta_s: float = -0.5
+    theta_e: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.theta_s <= self.theta_e <= 1.0:
+            raise ValueError(
+                f"need -1 <= theta_s <= theta_e <= 1, got "
+                f"({self.theta_s}, {self.theta_e})"
+            )
+
+    @property
+    def never_skip(self) -> bool:
+        """True when the window is degenerate at the top (theta_e = 1
+        and theta_s = 1): every vertex takes the FULL path."""
+        return self.theta_s >= 1.0
+
+
+@dataclass
+class ModeDecision:
+    """Per-vertex decisions for one snapshot transition."""
+
+    vertices: np.ndarray  # scored vertex ids
+    theta: np.ndarray  # their similarity scores
+    modes: np.ndarray  # CellUpdateMode values, aligned with vertices
+
+    def rows(self, mode: CellUpdateMode) -> np.ndarray:
+        """Vertex ids assigned the given mode."""
+        return self.vertices[self.modes == mode]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "full": int((self.modes == CellUpdateMode.FULL).sum()),
+            "delta": int((self.modes == CellUpdateMode.DELTA).sum()),
+            "skip": int((self.modes == CellUpdateMode.SKIP).sum()),
+        }
+
+    def skip_fraction(self) -> float:
+        """Fraction of scored vertices whose cell update was avoided
+        entirely."""
+        if len(self.modes) == 0:
+            return 0.0
+        return float((self.modes == CellUpdateMode.SKIP).mean())
+
+
+class SkippingPolicy:
+    """Maps similarity scores to cell-update modes."""
+
+    def __init__(self, thresholds: SkipThresholds | None = None):
+        self.thresholds = thresholds or SkipThresholds()
+
+    def decide(self, vertices: np.ndarray, theta: np.ndarray) -> ModeDecision:
+        """Vectorised mode assignment for a batch of scored vertices."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        theta = np.asarray(theta, dtype=np.float64)
+        if vertices.shape != theta.shape:
+            raise ValueError("vertices/theta shape mismatch")
+        modes = np.full(len(vertices), CellUpdateMode.FULL, dtype=np.int64)
+        t = self.thresholds
+        modes[theta > t.theta_e] = CellUpdateMode.SKIP
+        modes[(theta >= t.theta_s) & (theta <= t.theta_e)] = CellUpdateMode.DELTA
+        return ModeDecision(vertices, theta, modes)

@@ -1,0 +1,117 @@
+"""Tests for the event-driven cycle simulator and its agreement with the
+analytic model."""
+
+import pytest
+
+from repro.accel import (
+    CycleSimulator,
+    TaGNNConfig,
+    TaGNNSimulator,
+    Task,
+    tasks_from_workload,
+)
+from repro.bench import get_concurrent, get_graph, get_model, get_workload
+
+
+def uniform_tasks(n=200, gnn=1000.0, rnn=100.0, load=10.0):
+    return [Task(vertex=i, gnn_macs=gnn, rnn_macs=rnn, load_words=load)
+            for i in range(n)]
+
+
+class TestCycleSimulatorCore:
+    def test_empty(self):
+        r = CycleSimulator().run([])
+        assert r.total_cycles == 0.0 and r.tasks == 0
+
+    def test_deterministic(self):
+        tasks = uniform_tasks()
+        a = CycleSimulator().run(tasks)
+        b = CycleSimulator().run(tasks)
+        assert a.total_cycles == b.total_cycles
+        assert a.summary() == b.summary()
+
+    def test_more_work_more_cycles(self):
+        small = CycleSimulator().run(uniform_tasks(n=100))
+        big = CycleSimulator().run(uniform_tasks(n=1000))
+        assert big.total_cycles > small.total_cycles
+
+    def test_utilizations_bounded(self):
+        r = CycleSimulator().run(uniform_tasks(n=500))
+        assert 0.0 < r.dcu_utilization <= 1.0
+        assert 0.0 <= r.aru_utilization <= 1.0
+
+    def test_tiny_fifo_causes_backpressure(self):
+        """A compute-bound stream with a 1-slot FIFO must stall the
+        loader; a large FIFO must not."""
+        tasks = uniform_tasks(n=400, gnn=50_000.0, load=1.0)
+        tight = CycleSimulator(fifo_capacity=1).run(tasks)
+        roomy = CycleSimulator(fifo_capacity=100_000).run(tasks)
+        assert tight.loader_stall_cycles > 0
+        assert roomy.loader_stall_cycles == 0.0
+        assert tight.total_cycles >= roomy.total_cycles
+
+    def test_loader_bound_stream(self):
+        """Huge load words, trivial compute: total time tracks the
+        loader's serialisation."""
+        tasks = uniform_tasks(n=100, gnn=1.0, rnn=0.0, load=3200.0)
+        sim = CycleSimulator(loader_words_per_cycle=32.0)
+        r = sim.run(tasks)
+        assert r.total_cycles == pytest.approx(100 * 100.0, rel=0.05)
+        assert r.dcu_utilization < 0.05
+
+    def test_invalid_fifo(self):
+        with pytest.raises(ValueError):
+            CycleSimulator(fifo_capacity=0)
+
+    def test_more_dcus_faster_when_compute_bound(self):
+        tasks = uniform_tasks(n=800, gnn=20_000.0, load=1.0)
+        few = CycleSimulator(TaGNNConfig().with_dcus(4)).run(tasks)
+        many = CycleSimulator(TaGNNConfig().with_dcus(16)).run(tasks)
+        assert many.total_cycles < few.total_cycles
+
+
+class TestWorkloadTasks:
+    def test_task_counts(self):
+        wl = get_workload("T-GCN", "GT")
+        tasks = tasks_from_workload(wl)
+        expected = sum(w.subgraph_vertices + w.unaffected for w in wl.windows)
+        assert len(tasks) == expected
+
+    def test_skip_ratio_reduces_rnn_work(self):
+        wl = get_workload("T-GCN", "GT")
+        full = tasks_from_workload(wl, skip_ratio=0.0)
+        skipped = tasks_from_workload(wl, skip_ratio=0.8)
+        assert sum(t.rnn_macs for t in skipped) < sum(t.rnn_macs for t in full)
+
+    def test_skip_ratio_validated(self):
+        wl = get_workload("T-GCN", "GT")
+        with pytest.raises(ValueError):
+            tasks_from_workload(wl, skip_ratio=1.5)
+
+    def test_unaffected_tasks_have_no_rnn(self):
+        wl = get_workload("T-GCN", "GT")
+        tasks = tasks_from_workload(wl)
+        assert any(t.rnn_macs == 0.0 for t in tasks)
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize("cell", [("T-GCN", "GT"), ("GC-LSTM", "ML")])
+    def test_within_band(self, cell):
+        """The two independent models must agree on total cycles within a
+        factor of 2.5 in both directions."""
+        m, d = cell
+        wl = get_workload(m, d)
+        skip = get_concurrent(m, d).metrics.skip_ratio()
+        ev = CycleSimulator().run_workload(wl, skip_ratio=skip)
+        analytic = TaGNNSimulator().simulate(
+            get_model(m, d), get_graph(d), d, workload=wl
+        )
+        ratio = ev.total_cycles / analytic.cycles
+        assert 0.4 < ratio < 2.5, ratio
+
+    def test_skipping_speeds_up_event_model(self):
+        """ADSC's effect must be visible in the event model too."""
+        wl = get_workload("T-GCN", "GT")
+        with_skip = CycleSimulator().run_workload(wl, skip_ratio=0.7)
+        without = CycleSimulator().run_workload(wl, skip_ratio=0.0)
+        assert with_skip.total_cycles < without.total_cycles

@@ -1,0 +1,147 @@
+"""Tests for SimulationReport and the generic PlatformModel contract."""
+
+import pytest
+
+from repro.accel import PlatformModel, SimulationReport
+from repro.bench import get_graph, get_model, get_reference, get_workload
+from repro.hardware import FPGA_U280
+
+
+def make_report(seconds=1.0, joules=2.0, **kw):
+    return SimulationReport(
+        platform="X", model="m", dataset="d",
+        cycles=seconds * 1e6, seconds=seconds, joules=joules, **kw
+    )
+
+
+class TestSimulationReport:
+    def test_watts(self):
+        assert make_report(seconds=2.0, joules=10.0).watts == 5.0
+        assert make_report(seconds=0.0).watts == 0.0
+
+    def test_speedup_and_energy(self):
+        fast = make_report(seconds=1.0, joules=1.0)
+        slow = make_report(seconds=10.0, joules=5.0)
+        assert fast.speedup_over(slow) == 10.0
+        assert fast.energy_saving_over(slow) == 5.0
+
+    def test_zero_division_guards(self):
+        zero = make_report(seconds=0.0, joules=0.0)
+        other = make_report(seconds=1.0, joules=1.0)
+        assert zero.speedup_over(other) == float("inf")
+        assert zero.energy_saving_over(other) == float("inf")
+
+    def test_breakdown_fractions(self):
+        r = make_report(breakdown={"a": 3.0, "b": 1.0})
+        f = r.breakdown_fractions()
+        assert f["a"] == pytest.approx(0.75)
+        assert sum(f.values()) == pytest.approx(1.0)
+        assert make_report(breakdown={"a": 0.0}).breakdown_fractions() == {"a": 0.0}
+
+
+class TestPlatformModelValidation:
+    def _base(self, **kw):
+        defaults = dict(
+            name="p", frequency_mhz=100.0, macs=64, mac_efficiency=0.9,
+            bandwidth_gbs=10.0, outstanding_requests=4.0, phase_overlap=0.5,
+            energy=FPGA_U280,
+        )
+        defaults.update(kw)
+        return PlatformModel(**defaults)
+
+    def test_valid(self):
+        assert self._base().name == "p"
+
+    def test_phase_overlap_range(self):
+        with pytest.raises(ValueError):
+            self._base(phase_overlap=1.5)
+
+    def test_redundancy_range(self):
+        with pytest.raises(ValueError):
+            self._base(redundancy_elimination=-0.1)
+
+    def test_utilization_range(self):
+        with pytest.raises(ValueError):
+            self._base(compute_utilization=0.0)
+
+
+class TestPlatformSimulation:
+    def test_redundancy_elimination_reduces_time_and_energy(self):
+        g = get_graph("GT")
+        m = get_model("T-GCN", "GT")
+        metrics = get_reference("T-GCN", "GT").metrics
+        wl = get_workload("T-GCN", "GT")
+        base = dict(
+            name="x", frequency_mhz=1000.0, macs=4096, mac_efficiency=0.8,
+            bandwidth_gbs=256.0, outstanding_requests=8.0, phase_overlap=0.5,
+            energy=FPGA_U280,
+        )
+        plain = PlatformModel(**base).simulate(m, g, "GT", metrics=metrics, workload=wl)
+        dedup = PlatformModel(**base, redundancy_elimination=0.5).simulate(
+            m, g, "GT", metrics=metrics, workload=wl
+        )
+        assert dedup.seconds < plain.seconds
+        assert dedup.joules < plain.joules
+        assert dedup.extra["words"] < plain.extra["words"]
+
+    def test_overhead_adds_linear_time(self):
+        g = get_graph("GT")
+        m = get_model("T-GCN", "GT")
+        metrics = get_reference("T-GCN", "GT").metrics
+        wl = get_workload("T-GCN", "GT")
+        base = dict(
+            name="x", frequency_mhz=1000.0, macs=4096, mac_efficiency=0.8,
+            bandwidth_gbs=256.0, outstanding_requests=8.0, phase_overlap=0.5,
+            energy=FPGA_U280,
+        )
+        no_ovh = PlatformModel(**base).simulate(m, g, "GT", metrics=metrics, workload=wl)
+        with_ovh = PlatformModel(**base, snapshot_overhead_us=100.0).simulate(
+            m, g, "GT", metrics=metrics, workload=wl
+        )
+        expected = 100e-6 * metrics.snapshots_processed
+        assert with_ovh.seconds - no_ovh.seconds == pytest.approx(expected)
+
+    def test_full_overlap_takes_max(self):
+        g = get_graph("GT")
+        m = get_model("T-GCN", "GT")
+        metrics = get_reference("T-GCN", "GT").metrics
+        wl = get_workload("T-GCN", "GT")
+        base = dict(
+            name="x", frequency_mhz=1000.0, macs=4096, mac_efficiency=0.8,
+            bandwidth_gbs=256.0, outstanding_requests=8.0, energy=FPGA_U280,
+        )
+        serial = PlatformModel(**base, phase_overlap=0.0).simulate(
+            m, g, "GT", metrics=metrics, workload=wl
+        )
+        overlapped = PlatformModel(**base, phase_overlap=1.0).simulate(
+            m, g, "GT", metrics=metrics, workload=wl
+        )
+        bd = serial.breakdown
+        assert serial.seconds == pytest.approx(bd["memory_s"] + bd["compute_s"])
+        assert overlapped.seconds == pytest.approx(
+            max(bd["memory_s"], bd["compute_s"])
+        )
+
+
+class TestEnergyBreakdown:
+    def test_platform_energy_components_sum(self):
+        g = get_graph("GT")
+        m = get_model("T-GCN", "GT")
+        metrics = get_reference("T-GCN", "GT").metrics
+        wl = get_workload("T-GCN", "GT")
+        from repro.accel import DGL_CPU
+
+        r = DGL_CPU.simulate(m, g, "GT", metrics=metrics, workload=wl)
+        bd = r.extra["energy_breakdown"]
+        assert set(bd) == {"compute_j", "sram_j", "dram_j", "static_j"}
+        assert sum(bd.values()) == pytest.approx(r.joules)
+        # a CPU run is dominated by static/package power
+        assert bd["static_j"] > 0.5 * r.joules
+
+    def test_tagnn_energy_components_sum(self):
+        from repro.bench import get_tagnn_report
+
+        r = get_tagnn_report("T-GCN", "GT")
+        bd = r.extra["energy_breakdown"]
+        assert sum(bd.values()) == pytest.approx(r.joules)
+        assert all(v >= 0 for v in bd.values())

@@ -1,0 +1,187 @@
+"""Tests for the TaGNN simulator and every comparison platform.
+
+These encode the paper's qualitative claims as invariants: the ordering
+of platforms, the effect of each architectural feature, and the rough
+magnitude bands of the headline ratios (exact numbers live in the
+benches; here we assert the *shape* cannot silently regress).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    ACCELERATOR_BASELINES,
+    CAMBRICON_DG,
+    DGL_CPU,
+    DGNN_BOOSTER,
+    E_DGCN,
+    PIPAD,
+    TAGNN_S,
+    TaGNNConfig,
+    TaGNNSimulator,
+    WorkloadStats,
+    estimate_resources,
+)
+from repro.engine import ReferenceEngine
+from repro.graphs import load_dataset
+from repro.models import make_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = load_dataset("GT", num_snapshots=8)
+    model = make_model("T-GCN", g.dim, 32, seed=3)
+    ref = ReferenceEngine(model, window_size=4).run(g)
+    wl = WorkloadStats.analyze(g, model, 4)
+    return g, model, ref, wl
+
+
+@pytest.fixture(scope="module")
+def tagnn_report(setup):
+    g, model, _, wl = setup
+    return TaGNNSimulator().simulate(model, g, "GT", workload=wl)
+
+
+class TestTaGNNSimulator:
+    def test_report_fields(self, tagnn_report):
+        r = tagnn_report
+        assert r.platform == "TaGNN"
+        assert r.seconds > 0 and r.cycles > 0 and r.joules > 0
+        assert set(r.breakdown) == {"memory", "msdl", "dcu", "aru", "fill"}
+
+    def test_cycles_seconds_consistent(self, tagnn_report):
+        r = tagnn_report
+        assert r.seconds == pytest.approx(r.cycles / 225e6)
+
+    def test_oadl_ablation_slower(self, setup):
+        """WO/OADL must be substantially slower (paper: 4.41x average)."""
+        g, model, _, wl = setup
+        full = TaGNNSimulator().simulate(model, g, "GT", workload=wl)
+        wo = TaGNNSimulator(TaGNNConfig().ablated(oadl=False)).simulate(
+            model, g, "GT", workload=wl
+        )
+        assert wo.seconds > 2.0 * full.seconds
+
+    def test_adsc_ablation_slower(self, setup):
+        """WO/ADSC must be slower (paper: 2.48x average)."""
+        g, model, _, wl = setup
+        full = TaGNNSimulator().simulate(model, g, "GT", workload=wl)
+        wo = TaGNNSimulator(TaGNNConfig().ablated(adsc=False)).simulate(
+            model, g, "GT", workload=wl
+        )
+        assert wo.seconds > 1.2 * full.seconds
+
+    def test_dispatcher_ablation_slower(self, setup):
+        g, model, _, wl = setup
+        full = TaGNNSimulator().simulate(model, g, "GT", workload=wl)
+        wo = TaGNNSimulator(TaGNNConfig().ablated(dispatcher=False)).simulate(
+            model, g, "GT", workload=wl
+        )
+        assert wo.seconds > full.seconds
+
+    def test_pipeline_overlap_ablation(self, setup):
+        g, model, _, wl = setup
+        full = TaGNNSimulator().simulate(model, g, "GT", workload=wl)
+        wo = TaGNNSimulator(
+            TaGNNConfig().ablated(pipeline_overlap=False)
+        ).simulate(model, g, "GT", workload=wl)
+        assert wo.seconds > full.seconds
+
+    def test_more_dcus_not_slower_compute(self, setup):
+        g, model, _, wl = setup
+        few = TaGNNSimulator(TaGNNConfig().with_dcus(4)).simulate(
+            model, g, "GT", workload=wl
+        )
+        many = TaGNNSimulator(TaGNNConfig().with_dcus(16)).simulate(
+            model, g, "GT", workload=wl
+        )
+        assert many.breakdown["dcu"] < few.breakdown["dcu"]
+
+    def test_offchip_words_far_below_event_words(self, setup, tagnn_report):
+        """OADL: off-chip traffic is the distinct working set, far below
+        the per-event traffic the baselines move."""
+        _, _, ref, _ = setup
+        assert tagnn_report.extra["words"] < 0.5 * ref.metrics.total_words
+
+
+class TestPlatformOrdering:
+    @pytest.fixture(scope="class")
+    def reports(self, setup, tagnn_report):
+        g, model, ref, wl = setup
+        out = {"TaGNN": tagnn_report}
+        for name, p in ACCELERATOR_BASELINES.items():
+            out[name] = p.simulate(model, g, "GT", metrics=ref.metrics, workload=wl)
+        out["DGL-CPU"] = DGL_CPU.simulate(model, g, "GT", metrics=ref.metrics, workload=wl)
+        out["PiPAD"] = PIPAD.simulate(model, g, "GT", metrics=ref.metrics, workload=wl)
+        out["TaGNN-S"] = TAGNN_S.simulate(model, g, "GT", workload=wl)
+        return out
+
+    def test_latency_ordering(self, reports):
+        """Paper ordering: TaGNN < Cambricon-DG < E-DGCN < DGNN-Booster
+        < PiPAD-era software < DGL-CPU."""
+        t = {k: v.seconds for k, v in reports.items()}
+        assert t["TaGNN"] < t["Cambricon-DG"] < t["E-DGCN"] < t["DGNN-Booster"]
+        assert t["DGNN-Booster"] < t["DGL-CPU"]
+        assert t["TaGNN"] < t["TaGNN-S"]
+
+    def test_headline_speedup_bands(self, reports):
+        """Rough bands around the paper's averages (wide, since this is
+        one dataset/model cell, not the 15-cell average)."""
+        tagnn = reports["TaGNN"]
+        assert 2.5 < tagnn.speedup_over(reports["Cambricon-DG"]) < 20
+        assert 4 < tagnn.speedup_over(reports["E-DGCN"]) < 35
+        assert 5 < tagnn.speedup_over(reports["DGNN-Booster"]) < 45
+        assert 100 < tagnn.speedup_over(reports["DGL-CPU"]) < 2000
+        assert 20 < tagnn.speedup_over(reports["PiPAD"]) < 400
+
+    def test_energy_ordering(self, reports):
+        e = {k: v.joules for k, v in reports.items()}
+        assert e["TaGNN"] < e["Cambricon-DG"] < e["E-DGCN"]
+        assert e["TaGNN"] < e["PiPAD"] < e["DGL-CPU"]
+
+    def test_tagnn_s_close_to_pipad(self, reports):
+        """Fig. 8: TaGNN-S only modestly outperforms PiPAD because of its
+        software runtime overhead."""
+        ratio = reports["TaGNN-S"].speedup_over(reports["PiPAD"])
+        assert 0.7 < ratio < 3.0
+
+    def test_tagnn_s_overhead_fraction(self, reports):
+        r = reports["TaGNN-S"]
+        frac = r.breakdown["overhead_s"] / r.seconds
+        assert 0.3 < frac < 0.9  # paper band: 40-62%
+
+    def test_pipad_memory_bound(self, reports):
+        """Fig. 2(d): memory access dominates PiPAD's time (~70%)."""
+        r = reports["PiPAD"]
+        assert r.breakdown["memory_s"] / r.seconds > 0.5
+
+    def test_watts_plausible(self, reports):
+        for name, r in reports.items():
+            assert 5 < r.watts < 300, (name, r.watts)
+
+
+class TestResources:
+    @pytest.mark.parametrize(
+        "model_name,expected",
+        [
+            ("CD-GCN", {"DSP": 0.772, "LUT": 0.426, "FF": 0.349, "BRAM": 0.624, "UltraRAM": 0.824}),
+            ("GC-LSTM", {"DSP": 0.802, "LUT": 0.495, "FF": 0.352, "BRAM": 0.697, "UltraRAM": 0.897}),
+            ("T-GCN", {"DSP": 0.736, "LUT": 0.401, "FF": 0.304, "BRAM": 0.593, "UltraRAM": 0.803}),
+        ],
+    )
+    def test_table3_within_tolerance(self, model_name, expected):
+        """Estimated utilisation within 7 points of Table 3."""
+        model = make_model(model_name, 32, 32)
+        util = estimate_resources(model).utilization()
+        for k, v in expected.items():
+            assert abs(util[k] - v) < 0.07, (model_name, k, util[k], v)
+
+    def test_fits_device(self):
+        for name in ("CD-GCN", "GC-LSTM", "T-GCN"):
+            assert estimate_resources(make_model(name, 32, 32)).fits()
+
+    def test_more_macs_more_dsp(self):
+        model = make_model("T-GCN", 32, 32)
+        small = estimate_resources(model, TaGNNConfig().with_macs(2048))
+        big = estimate_resources(model, TaGNNConfig().with_macs(8192))
+        assert big.dsp > small.dsp

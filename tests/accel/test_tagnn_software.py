@@ -1,0 +1,71 @@
+"""Tests for the TaGNN-S software platform model (Fig. 8's subject)."""
+
+import pytest
+
+from repro.accel import TAGNN_S, PIPAD, TaGNNSoftware
+from repro.bench import (
+    get_concurrent,
+    get_graph,
+    get_model,
+    get_reference,
+    get_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    g = get_graph("GT")
+    m = get_model("T-GCN", "GT")
+    wl = get_workload("T-GCN", "GT")
+    ts = TAGNN_S.simulate(
+        m, g, "GT", engine_result=get_concurrent("T-GCN", "GT"), workload=wl
+    )
+    pipad = PIPAD.simulate(
+        m, g, "GT", metrics=get_reference("T-GCN", "GT").metrics, workload=wl
+    )
+    return ts, pipad
+
+
+class TestTaGNNSoftware:
+    def test_report_shape(self, reports):
+        ts, _ = reports
+        assert ts.platform == "TaGNN-S"
+        assert set(ts.breakdown) == {"memory_s", "compute_s", "overhead_s"}
+        assert ts.seconds > 0 and ts.joules > 0
+
+    def test_overhead_dominant_or_large(self, reports):
+        """Section 3.2: the topology analysis is expensive on general-
+        purpose hardware — 40-62% of TaGNN-S's runtime in the paper."""
+        ts, _ = reports
+        frac = ts.breakdown["overhead_s"] / ts.seconds
+        assert frac > 0.25
+
+    def test_memory_time_beats_pipad(self, reports):
+        """Fig. 8(a): PiPAD's memory-access time is a multiple of
+        TaGNN-S's (paper: 2.7-4.1x)."""
+        ts, pipad = reports
+        ratio = pipad.breakdown["memory_s"] / ts.breakdown["memory_s"]
+        assert ratio > 1.5
+
+    def test_runs_engine_when_not_given(self):
+        g = get_graph("GT")
+        m = get_model("T-GCN", "GT")
+        rep = TaGNNSoftware().simulate(m, g, "GT")
+        assert rep.seconds > 0
+        assert rep.metrics is not None
+
+    def test_custom_parameters(self):
+        g = get_graph("GT")
+        m = get_model("T-GCN", "GT")
+        slow_scalar = TaGNNSoftware(scalar_gops=0.05)
+        fast_scalar = TaGNNSoftware(scalar_gops=50.0)
+        r_slow = slow_scalar.simulate(
+            m, g, "GT", engine_result=get_concurrent("T-GCN", "GT"),
+            workload=get_workload("T-GCN", "GT"),
+        )
+        r_fast = fast_scalar.simulate(
+            m, g, "GT", engine_result=get_concurrent("T-GCN", "GT"),
+            workload=get_workload("T-GCN", "GT"),
+        )
+        assert r_slow.breakdown["overhead_s"] > r_fast.breakdown["overhead_s"]
+        assert r_slow.seconds > r_fast.seconds

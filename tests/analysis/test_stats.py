@@ -1,0 +1,77 @@
+"""Tests for the temporal-statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    churn_timeline,
+    degree_evolution,
+    edge_jaccard_matrix,
+    temporal_profile,
+)
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("GT", num_snapshots=6)
+
+
+class TestJaccard:
+    def test_shape_and_diagonal(self, graph):
+        j = edge_jaccard_matrix(graph)
+        assert j.shape == (6, 6)
+        np.testing.assert_allclose(np.diag(j), 1.0)
+
+    def test_symmetric(self, graph):
+        j = edge_jaccard_matrix(graph)
+        np.testing.assert_allclose(j, j.T)
+
+    def test_range(self, graph):
+        j = edge_jaccard_matrix(graph)
+        assert np.all((j >= 0) & (j <= 1))
+
+    def test_decays_with_distance(self, graph):
+        """Adjacent snapshots overlap more than distant ones."""
+        j = edge_jaccard_matrix(graph)
+        assert j[0, 1] > j[0, 5]
+
+    def test_adjacent_overlap_high(self, graph):
+        """The paper's premise: consecutive snapshots are mostly shared."""
+        j = edge_jaccard_matrix(graph)
+        adj = [j[i, i + 1] for i in range(5)]
+        assert min(adj) > 0.7
+
+
+class TestChurnAndDegrees:
+    def test_timeline_lengths(self, graph):
+        c = churn_timeline(graph)
+        for k, v in c.items():
+            assert len(v) == 5, k
+
+    def test_churn_nonzero(self, graph):
+        c = churn_timeline(graph)
+        assert (c["edges_added"] + c["edges_removed"]).min() > 0
+
+    def test_degree_evolution(self, graph):
+        d = degree_evolution(graph)
+        assert len(d["mean"]) == 6
+        assert np.all(d["max"] >= d["p99"])
+        assert np.all(d["p99"] >= d["p50"])
+
+
+class TestProfile:
+    def test_profile_keys(self, graph):
+        p = temporal_profile(graph)
+        assert p["num_snapshots"] == 6
+        assert 0 < p["adjacent_edge_jaccard_mean"] <= 1
+        assert set(p["unaffected_ratio_by_window"]) == {2, 3, 4}
+        assert p["unaffected_ratio_by_window"][2] > (
+            p["unaffected_ratio_by_window"][4]
+        )
+
+    def test_single_snapshot_profile(self):
+        g = load_dataset("GT", num_snapshots=1)
+        p = temporal_profile(g, window=1)
+        assert p["adjacent_edge_jaccard_mean"] == 1.0
+        assert p["edges_changed_per_step_mean"] == 0.0

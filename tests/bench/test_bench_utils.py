@@ -1,0 +1,69 @@
+"""Tests for the bench harness utilities (rendering, memoisation,
+aggregation)."""
+
+import math
+import os
+
+import pytest
+
+from repro.bench import (
+    geomean,
+    get_graph,
+    get_model,
+    get_platform_report,
+    render_table,
+    save_result,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([5]) == pytest.approx(5.0)
+
+    def test_empty_and_nonpositive(self):
+        assert geomean([]) == 0.0
+        assert geomean([0, -3]) == 0.0
+        assert geomean([0, 4, 16]) == pytest.approx(8.0)  # ignores zeros
+
+    def test_log_identity(self):
+        vals = [2.0, 3.0, 4.0]
+        assert geomean(vals) == pytest.approx(
+            math.exp(sum(math.log(v) for v in vals) / 3)
+        )
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 3.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "xyz" in text and "2.50" in text
+
+    def test_float_format(self):
+        text = render_table("T", ["x"], [[1.23456]], floatfmt="{:.4f}")
+        assert "1.2346" in text
+
+    def test_save_result_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.report as rep
+
+        monkeypatch.setattr(rep, "RESULTS_DIR", str(tmp_path))
+        path = save_result("unit-test", "hello\n")
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert f.read() == "hello\n"
+
+
+class TestMemoisation:
+    def test_graph_cached(self):
+        assert get_graph("GT") is get_graph("GT")
+
+    def test_model_cached_per_dataset(self):
+        assert get_model("T-GCN", "GT") is get_model("T-GCN", "GT")
+        assert get_model("T-GCN", "GT") is not get_model("T-GCN", "ML")
+
+    def test_platform_report_smoke(self):
+        r = get_platform_report("TaGNN", "T-GCN", "GT")
+        assert r.platform == "TaGNN"
+        assert r.seconds > 0

@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench import bar_chart, grouped_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        out = bar_chart("t", ["a", "bb", "c"], [1.0, 4.0, 2.0])
+        lines = out.splitlines()[2:]
+        lengths = {l.split("|")[0].strip(): len(l.split("|")[1].strip().split()[0])
+                   for l in lines}
+        assert lengths["bb"] > lengths["c"] > lengths["a"]
+
+    def test_values_printed(self):
+        out = bar_chart("t", ["x"], [3.5], unit="us")
+        assert "3.5us" in out
+
+    def test_zero_and_negative_safe(self):
+        out = bar_chart("t", ["a", "b"], [0.0, -5.0])
+        assert "a" in out and "b" in out  # no crash, no bars
+
+    def test_log_scale_compresses(self):
+        lin = bar_chart("t", ["a", "b"], [1.0, 1000.0])
+        log = bar_chart("t", ["a", "b"], [1.0, 1000.0], log=True)
+
+        def bar_len(out, label):
+            for l in out.splitlines():
+                if l.strip().startswith(label):
+                    seg = l.split("|")[1].strip()
+                    return len(seg.split()[0]) if seg and not seg[0].isdigit() else 0
+            return 0
+
+        # in log scale the small value still gets a visible bar
+        assert bar_len(log, "a") > bar_len(lin, "a")
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart("t", [], [])
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        out = grouped_bar_chart(
+            "g", ["HP", "GT"], {"TaGNN": [1, 2], "PiPAD": [3, 4]}
+        )
+        assert "HP:" in out and "GT:" in out
+        assert out.count("TaGNN") == 2 and out.count("PiPAD") == 2
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("g", ["a"], {"s": [1, 2]})
+
+    def test_empty(self):
+        assert "(empty)" in grouped_bar_chart("g", [], {})
+
+
+class TestSeriesChart:
+    def test_knee_visible(self):
+        out = series_chart("dcus", [2, 4, 8, 16], [100, 50, 25, 24],
+                           ylabel="us")
+        assert "[us]" in out
+        assert "100" in out and "24" in out

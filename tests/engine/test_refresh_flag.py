@@ -1,0 +1,54 @@
+"""Unit tests for the per-batch refresh design flag."""
+
+import numpy as np
+
+from repro.engine import ConcurrentEngine, ReferenceEngine
+from repro.graphs import load_dataset
+from repro.models import make_model
+
+
+class TestRefreshFlag:
+    def test_no_refresh_skips_more(self):
+        g = load_dataset("GT", num_snapshots=8)
+        with_r = ConcurrentEngine(
+            make_model("T-GCN", g.dim, 16, seed=1), window_size=4
+        ).run(g)
+        without_r = ConcurrentEngine(
+            make_model("T-GCN", g.dim, 16, seed=1),
+            window_size=4,
+            refresh_each_window=False,
+        ).run(g)
+        assert without_r.metrics.cells_full < with_r.metrics.cells_full
+        assert without_r.metrics.cells_skipped > with_r.metrics.cells_skipped
+
+    def test_no_refresh_drifts_more(self):
+        g = load_dataset("GT", num_snapshots=8)
+        ref = ReferenceEngine(
+            make_model("T-GCN", g.dim, 16, seed=1), window_size=4
+        ).run(g)
+
+        def err(refresh):
+            res = ConcurrentEngine(
+                make_model("T-GCN", g.dim, 16, seed=1),
+                window_size=4,
+                refresh_each_window=refresh,
+            ).run(g)
+            return np.mean(
+                [np.abs(a - b).mean() for a, b in zip(res.outputs, ref.outputs)]
+            )
+
+        assert err(False) > err(True)
+
+    def test_exactness_unaffected_by_flag_when_not_skipping(self):
+        g = load_dataset("GT", num_snapshots=8)
+        ref = ReferenceEngine(
+            make_model("T-GCN", g.dim, 16, seed=1), window_size=4
+        ).run(g)
+        res = ConcurrentEngine(
+            make_model("T-GCN", g.dim, 16, seed=1),
+            window_size=4,
+            enable_skipping=False,
+            refresh_each_window=False,
+        ).run(g)
+        for a, b in zip(ref.outputs, res.outputs):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,39 @@
+"""Tests for the shared access-cost model of the storage formats."""
+
+import pytest
+
+from repro.formats import (
+    RANDOM_ACCESS_CYCLES,
+    WORDS_PER_CYCLE,
+    AccessCost,
+)
+
+
+class TestAccessCost:
+    def test_add_and_cycles(self):
+        c = AccessCost()
+        c.add(randoms=10, words=160)
+        assert c.random_accesses == 10
+        assert c.sequential_words == 160
+        assert c.cycles() == pytest.approx(
+            10 * RANDOM_ACCESS_CYCLES + 160 / WORDS_PER_CYCLE
+        )
+
+    def test_sum_operator(self):
+        a = AccessCost(random_accesses=3, sequential_words=32)
+        b = AccessCost(random_accesses=7, sequential_words=64)
+        c = a + b
+        assert c.random_accesses == 10
+        assert c.sequential_words == 96
+        # operands untouched
+        assert a.random_accesses == 3
+
+    def test_empty_cost(self):
+        assert AccessCost().cycles() == 0.0
+
+    def test_randoms_expensive_relative_to_words(self):
+        """One random access must cost more than one streamed word —
+        otherwise the format comparison would be meaningless."""
+        one_random = AccessCost(random_accesses=1).cycles()
+        one_word = AccessCost(sequential_words=1).cycles()
+        assert one_random > 10 * one_word

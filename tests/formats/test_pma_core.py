@@ -1,0 +1,130 @@
+"""Property and unit tests for the Packed Memory Array core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import PackedMemoryArray
+
+
+class TestPMABasics:
+    def test_insert_and_contains(self):
+        pma = PackedMemoryArray()
+        assert pma.insert(5, 50)
+        assert pma.insert(3, 30)
+        assert pma.insert(9, 90)
+        assert 5 in pma and 3 in pma and 9 in pma
+        assert 4 not in pma
+        assert len(pma) == 3
+
+    def test_payload_retrieval(self):
+        pma = PackedMemoryArray()
+        pma.insert(7, 70)
+        assert pma.get(7) == 70
+        assert pma.get(8) is None
+
+    def test_duplicate_insert_overwrites_payload(self):
+        pma = PackedMemoryArray()
+        assert pma.insert(1, 10)
+        assert not pma.insert(1, 11)
+        assert pma.get(1) == 11
+        assert len(pma) == 1
+
+    def test_delete(self):
+        pma = PackedMemoryArray()
+        pma.insert(1)
+        pma.insert(2)
+        assert pma.delete(1)
+        assert not pma.delete(1)
+        assert 1 not in pma and 2 in pma
+        assert len(pma) == 1
+
+    def test_items_sorted(self):
+        pma = PackedMemoryArray()
+        for k in [9, 1, 7, 3, 5]:
+            pma.insert(k)
+        ks, _ = pma.items()
+        assert ks.tolist() == [1, 3, 5, 7, 9]
+
+    def test_growth(self):
+        pma = PackedMemoryArray(capacity=8)
+        for k in range(100):
+            pma.insert(k)
+        assert len(pma) == 100
+        assert pma.capacity >= 100
+        pma.check_invariants()
+
+    def test_shrink(self):
+        pma = PackedMemoryArray(capacity=8)
+        for k in range(200):
+            pma.insert(k)
+        cap_full = pma.capacity
+        for k in range(190):
+            pma.delete(k)
+        assert pma.capacity < cap_full
+        assert sorted(pma.items()[0].tolist()) == list(range(190, 200))
+
+    def test_moved_slots_accounting(self):
+        pma = PackedMemoryArray(capacity=8)
+        for k in range(50):
+            pma.insert(k)
+        assert pma.moved_slots > 0  # rebalances must have happened
+
+    def test_invalid_densities(self):
+        with pytest.raises(ValueError):
+            PackedMemoryArray(leaf_density=(0.5, 0.9))  # min >= root min
+        with pytest.raises(ValueError):
+            PackedMemoryArray(leaf_density=(0.1, 0.6))  # max <= root max
+
+    def test_search_cost_grows_with_size(self):
+        small = PackedMemoryArray(capacity=8)
+        big = PackedMemoryArray(capacity=8)
+        for k in range(1000):
+            big.insert(k)
+        assert big.search_cost_randoms() >= small.search_cost_randoms()
+
+    def test_thresholds_interpolate(self):
+        pma = PackedMemoryArray(capacity=1024)
+        leaf_min, leaf_max = pma.thresholds(0)
+        root_min, root_max = pma.thresholds(pma.height)
+        assert leaf_max > root_max
+        assert leaf_min < root_min
+
+
+class TestPMAProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=500)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_set(self, ops):
+        """Arbitrary insert/delete interleavings must track a Python set
+        and preserve all PMA invariants."""
+        pma = PackedMemoryArray(capacity=8)
+        ref: set[int] = set()
+        for is_insert, key in ops:
+            if is_insert:
+                pma.insert(key)
+                ref.add(key)
+            else:
+                pma.delete(key)
+                ref.discard(key)
+        pma.check_invariants()
+        ks, _ = pma.items()
+        assert set(ks.tolist()) == ref
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_bulk_load_sorted(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(100_000, size=500, replace=False)
+        pma = PackedMemoryArray(capacity=8)
+        for k in keys:
+            pma.insert(int(k))
+        ks, _ = pma.items()
+        assert np.array_equal(ks, np.sort(keys))
+        pma.check_invariants()

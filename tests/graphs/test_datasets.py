@@ -1,0 +1,92 @@
+"""Tests for the Table 2 dataset registry."""
+
+import pytest
+
+from repro.graphs import (
+    DATASET_NAMES,
+    TABLE2,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    paper_stats,
+)
+
+
+class TestRegistry:
+    def test_all_five_datasets_registered(self):
+        assert set(available_datasets()) == {"HP", "GT", "ML", "EP", "FK"}
+
+    def test_paper_stats_match_table2(self):
+        hp = paper_stats("HP")
+        assert hp.num_vertices == 28_090
+        assert hp.num_edges == 1_543_901
+        assert hp.dim == 172
+        assert hp.num_snapshots == 243
+        fk = paper_stats("FK")
+        assert fk.num_vertices == 2_302_925
+        assert fk.num_edges == 33_140_017
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            paper_stats("XX")
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_spec("XX")
+
+    def test_relative_sizes_preserved(self):
+        """Synthetic stand-ins keep Table 2's size ordering: FK is the
+        largest, GT the smallest."""
+        sizes = {name: dataset_spec(name).num_vertices for name in DATASET_NAMES}
+        assert sizes["FK"] == max(sizes.values())
+        assert sizes["GT"] == min(sizes.values())
+
+    def test_all_specs_generate(self):
+        for name in DATASET_NAMES:
+            g = load_dataset(name, num_snapshots=2)
+            assert g.num_snapshots == 2
+            assert g.total_edges() > 0
+
+
+class TestScaling:
+    def test_scale_multiplies_sizes(self):
+        base = dataset_spec("GT")
+        double = dataset_spec("GT", scale=2.0)
+        assert double.num_vertices == 2 * base.num_vertices
+        assert double.num_edges == 2 * base.num_edges
+
+    def test_scale_floor(self):
+        tiny = dataset_spec("GT", scale=1e-6)
+        assert tiny.num_vertices >= 16
+        assert tiny.num_edges >= 32
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            dataset_spec("GT", scale=-1)
+        with pytest.raises(ValueError):
+            dataset_spec("GT", num_snapshots=0)
+        with pytest.raises(ValueError):
+            dataset_spec("GT", dim=0)
+
+    def test_overrides(self):
+        spec = dataset_spec("GT", num_snapshots=3, dim=5, seed=42)
+        assert spec.num_snapshots == 3
+        assert spec.dim == 5
+        assert spec.seed == 42
+
+    def test_spec_unchanged_without_overrides(self):
+        assert dataset_spec("GT") is dataset_spec("GT")
+
+
+class TestChurnOrdering:
+    def test_churn_increases_toward_social_graphs(self):
+        """Per Fig. 3(a), citation graphs (HP) overlap most and social
+        media (FK) least — our configs must preserve that ordering."""
+        hp = dataset_spec("HP").churn
+        fk = dataset_spec("FK").churn
+        assert hp.active_frac < fk.active_frac
+        assert hp.edge_change_frac < fk.edge_change_frac
+
+    def test_table2_registry_consistent(self):
+        for name, stats in TABLE2.items():
+            assert stats.abbrev == name
+            assert stats.num_vertices > 0
+            assert stats.num_edges > stats.num_vertices

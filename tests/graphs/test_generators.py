@@ -1,0 +1,153 @@
+"""Tests for the synthetic dynamic-graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    ChurnConfig,
+    DynamicGraphSpec,
+    chung_lu_edges,
+    generate_dynamic_graph,
+)
+
+
+def tiny_spec(**kw):
+    defaults = dict(
+        name="tiny",
+        num_vertices=200,
+        num_edges=800,
+        dim=8,
+        num_snapshots=5,
+        seed=7,
+    )
+    defaults.update(kw)
+    return DynamicGraphSpec(**defaults)
+
+
+class TestChungLu:
+    def test_edge_count_near_target(self):
+        rng = np.random.default_rng(0)
+        edges = chung_lu_edges(500, 2000, 2.2, rng)
+        assert 0.8 * 2000 <= len(edges) <= 2000
+
+    def test_no_self_loops(self):
+        rng = np.random.default_rng(1)
+        edges = chung_lu_edges(300, 1500, 2.2, rng)
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_canonical_orientation_unique(self):
+        rng = np.random.default_rng(2)
+        edges = chung_lu_edges(300, 1500, 2.2, rng)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        keys = edges[:, 0] * 300 + edges[:, 1]
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_power_law_skew(self):
+        """Low-id vertices (heavier weights) should collect far more
+        degree than high-id vertices."""
+        rng = np.random.default_rng(3)
+        n = 1000
+        edges = chung_lu_edges(n, 8000, 2.1, rng)
+        deg = np.bincount(edges.reshape(-1), minlength=n)
+        assert deg[:50].mean() > 5 * deg[-500:].mean()
+
+    def test_too_few_vertices_raises(self):
+        with pytest.raises(ValueError):
+            chung_lu_edges(1, 10, 2.2, np.random.default_rng(0))
+
+
+class TestGenerateDynamicGraph:
+    def test_shape_matches_spec(self):
+        spec = tiny_spec()
+        g = generate_dynamic_graph(spec)
+        assert g.num_vertices == spec.num_vertices
+        assert g.num_snapshots == spec.num_snapshots
+        assert g.dim == spec.dim
+
+    def test_deterministic(self):
+        g1 = generate_dynamic_graph(tiny_spec())
+        g2 = generate_dynamic_graph(tiny_spec())
+        for a, b in zip(g1, g2):
+            assert np.array_equal(a.indices, b.indices)
+            assert np.array_equal(a.features, b.features)
+            assert np.array_equal(a.present, b.present)
+
+    def test_undirected_snapshots(self):
+        g = generate_dynamic_graph(tiny_spec())
+        s = g[0]
+        for u, v in s.edge_array()[:200]:
+            assert s.has_edge(v, u)
+
+    def test_absent_vertices_have_no_edges(self):
+        g = generate_dynamic_graph(tiny_spec(num_snapshots=6))
+        for s in g:
+            absent = np.flatnonzero(~s.present)
+            assert np.all(s.degrees[absent] == 0)
+            # and nobody points at them
+            absent_set = set(absent.tolist())
+            assert not absent_set.intersection(s.indices.tolist())
+
+    def test_arrivals_and_departures_happen(self):
+        spec = tiny_spec(
+            num_vertices=400,
+            num_snapshots=8,
+            churn=ChurnConfig(
+                vertex_arrival_frac=0.02, vertex_departure_frac=0.02
+            ),
+        )
+        g = generate_dynamic_graph(spec)
+        arrived = sum(len(d.arrived) for d in g.deltas())
+        departed = sum(len(d.departed) for d in g.deltas())
+        assert arrived > 0 and departed > 0
+
+    def test_churn_scaling_increases_changes(self):
+        lo = generate_dynamic_graph(
+            tiny_spec(churn=ChurnConfig(active_frac=0.05, edge_change_frac=0.02))
+        )
+        hi = generate_dynamic_graph(
+            tiny_spec(churn=ChurnConfig(active_frac=0.3, edge_change_frac=0.2))
+        )
+        lo_changes = sum(d.num_structural_changes for d in lo.deltas())
+        hi_changes = sum(d.num_structural_changes for d in hi.deltas())
+        assert hi_changes > 2 * lo_changes
+
+    def test_churnconfig_scaled(self):
+        cfg = ChurnConfig(active_frac=0.1, edge_change_frac=0.05)
+        up = cfg.scaled(2.0)
+        assert up.active_frac == pytest.approx(0.2)
+        assert up.edge_change_frac == pytest.approx(0.1)
+        capped = cfg.scaled(100.0)
+        assert capped.active_frac == 1.0
+
+    def test_feature_dtype(self):
+        g = generate_dynamic_graph(tiny_spec())
+        assert g[0].features.dtype == np.float32
+
+
+class TestGeneratorProperties:
+    @given(
+        n=st.integers(min_value=50, max_value=300),
+        m=st.integers(min_value=100, max_value=1000),
+        t=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_hold_for_random_specs(self, n, m, t, seed):
+        g = generate_dynamic_graph(
+            DynamicGraphSpec(
+                name="prop", num_vertices=n, num_edges=m, dim=4,
+                num_snapshots=t, seed=seed,
+            )
+        )
+        for s in g:
+            # CSR well-formedness
+            assert s.indptr[0] == 0
+            assert s.indptr[-1] == len(s.indices)
+            assert np.all(np.diff(s.indptr) >= 0)
+            # edges only between present vertices
+            if s.num_edges:
+                src = np.repeat(np.arange(n), s.degrees)
+                assert s.present[src].all()
+                assert s.present[s.indices].all()

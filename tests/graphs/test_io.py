@@ -1,0 +1,90 @@
+"""Tests for dynamic-graph persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    DynamicGraphSpec,
+    generate_dynamic_graph,
+    load_dataset,
+    load_dynamic_graph,
+    save_dynamic_graph,
+)
+
+
+def assert_graphs_equal(a, b):
+    assert a.name == b.name
+    assert a.num_vertices == b.num_vertices
+    assert a.num_snapshots == b.num_snapshots
+    for sa, sb in zip(a, b):
+        np.testing.assert_array_equal(sa.indptr, sb.indptr)
+        np.testing.assert_array_equal(sa.indices, sb.indices)
+        np.testing.assert_array_equal(sa.features, sb.features)
+        np.testing.assert_array_equal(sa.present, sb.present)
+        assert sa.timestamp == sb.timestamp
+
+
+class TestRoundTrip:
+    def test_dataset_roundtrip(self, tmp_path):
+        g = load_dataset("GT", num_snapshots=4)
+        path = str(tmp_path / "gt.npz")
+        save_dynamic_graph(g, path)
+        assert_graphs_equal(g, load_dynamic_graph(path))
+
+    def test_name_with_unicode(self, tmp_path):
+        g = load_dataset("GT", num_snapshots=2)
+        g.name = "gdelt-ünïcode-⊕"
+        path = str(tmp_path / "u.npz")
+        save_dynamic_graph(g, path)
+        assert load_dynamic_graph(path).name == g.name
+
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_graph_roundtrip(self, seed, tmp_path_factory):
+        g = generate_dynamic_graph(
+            DynamicGraphSpec(
+                name="rt", num_vertices=60, num_edges=150, dim=3,
+                num_snapshots=3, seed=seed,
+            )
+        )
+        path = str(tmp_path_factory.mktemp("io") / f"g{seed}.npz")
+        save_dynamic_graph(g, path)
+        assert_graphs_equal(g, load_dynamic_graph(path))
+
+
+class TestErrorHandling:
+    def test_bad_version_rejected(self, tmp_path):
+        g = load_dataset("GT", num_snapshots=2)
+        path = str(tmp_path / "g.npz")
+        save_dynamic_graph(g, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["__version__"] = np.array([999], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_dynamic_graph(path)
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        g = load_dataset("GT", num_snapshots=3)
+        path = str(tmp_path / "g.npz")
+        save_dynamic_graph(g, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if not k.startswith("s2_")}
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="truncated"):
+            load_dynamic_graph(path)
+
+    def test_loaded_graph_usable(self, tmp_path):
+        """A reloaded graph must drive the full pipeline."""
+        from repro.engine import ConcurrentEngine
+        from repro.models import make_model
+
+        g = load_dataset("GT", num_snapshots=4)
+        path = str(tmp_path / "g.npz")
+        save_dynamic_graph(g, path)
+        g2 = load_dynamic_graph(path)
+        model = make_model("T-GCN", g2.dim, 8, seed=0)
+        res = ConcurrentEngine(model, window_size=4).run(g2)
+        assert len(res.outputs) == 4

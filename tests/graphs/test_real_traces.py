@@ -1,0 +1,131 @@
+"""Tests for the timestamped edge-list (real-trace) loader."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_window
+from repro.graphs import TemporalEdgeList, load_edge_list, parse_edge_list
+
+
+def make_trace(n=300, events=4000, hotspot=0.1, seed=0):
+    """A synthetic SNAP-style trace: a stable core of long-lived pairs
+    plus a churning hotspot — sparse enough that overlap exists."""
+    rng = np.random.default_rng(seed)
+    lines = ["# synthetic trace", "% another comment style is NOT skipped"]
+    lines = ["# synthetic trace"]
+    core_pairs = [(i, (i + 1) % n) for i in range(0, n, 3)]
+    for t in range(events):
+        if rng.random() < 0.7:
+            u, v = core_pairs[rng.integers(len(core_pairs))]
+        else:
+            hot = int(n * hotspot)
+            u, v = rng.integers(0, hot, 2)
+        lines.append(f"{u} {v} {t}")
+    return "\n".join(lines)
+
+
+class TestParse:
+    def test_basic_parse(self):
+        tel = parse_edge_list("0 1 10\n1 2 5\n# comment\n2 0 7\n")
+        assert tel.num_events == 3
+        # sorted by time
+        assert tel.timestamp.tolist() == [5.0, 7.0, 10.0]
+        assert tel.num_vertices == 3
+
+    def test_extra_columns_ignored(self):
+        tel = parse_edge_list("5 9 100 0.75 extra\n9 5 200 1.0\n")
+        assert tel.num_events == 2
+
+    def test_relabel_dense(self):
+        tel = parse_edge_list("100 900 1\n900 5000 2\n")
+        assert tel.num_vertices == 3
+        assert set(np.concatenate([tel.src, tel.dst]).tolist()) == {0, 1, 2}
+
+    def test_no_relabel(self):
+        tel = parse_edge_list("3 7 1\n", relabel=False)
+        assert tel.num_vertices == 8
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="src dst timestamp"):
+            parse_edge_list("1 2\n")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no edges"):
+            parse_edge_list("# nothing\n")
+
+    def test_file_object(self):
+        tel = parse_edge_list(io.StringIO("0 1 1\n1 2 2\n"))
+        assert tel.num_events == 2
+
+
+class TestLoadEdgeList:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_edge_list(
+            make_trace(), num_snapshots=8, retention=3, dim=8, seed=1
+        )
+
+    def test_shape(self, graph):
+        assert graph.num_snapshots == 8
+        assert graph.dim == 8
+        assert graph.total_edges() > 0
+
+    def test_retention_produces_churn(self, graph):
+        """Edges must both appear and expire across snapshots."""
+        added = sum(len(d.added_edges) for d in graph.deltas())
+        removed = sum(len(d.removed_edges) for d in graph.deltas())
+        assert added > 0 and removed > 0
+
+    def test_overlap_exists(self, graph):
+        """The stable core must yield unaffected vertices in later
+        windows (the property the cell-skipping study needs)."""
+        c = classify_window(graph.window(4, 3))
+        assert c.counts()["unaffected"] > 0
+
+    def test_presence_monotone(self, graph):
+        """A vertex that has appeared stays present (its feature history
+        persists even when its edges expire)."""
+        for t in range(1, graph.num_snapshots):
+            newly_absent = graph[t - 1].present & ~graph[t].present
+            assert not newly_absent.any()
+
+    def test_feature_churn_tracks_activity(self, graph):
+        """Vertices inactive in a bucket keep their features exactly."""
+        for d in graph.deltas():
+            touched = set(d.touched_vertices().tolist())
+            changed = set(d.feature_changed.tolist())
+            assert changed <= touched
+
+    def test_fixed_features_mode(self):
+        trace = make_trace()
+        tel = parse_edge_list(trace)
+        n_feats = np.ones((tel.num_vertices, 4), dtype=np.float32)
+        g = load_edge_list(tel, num_snapshots=4, dim=4, features=n_feats)
+        # features constant for co-present vertices
+        for d in g.deltas():
+            assert d.feature_changed.size == 0
+
+    def test_fixed_features_wrong_size_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            load_edge_list(
+                make_trace(), num_snapshots=4,
+                features=np.ones((7, 4), dtype=np.float32),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_edge_list(make_trace(), num_snapshots=0)
+        with pytest.raises(ValueError):
+            load_edge_list(make_trace(), retention=0)
+
+    def test_drives_full_pipeline_exactly(self, graph):
+        from repro.engine import ConcurrentEngine, ReferenceEngine
+        from repro.models import make_model
+
+        m = make_model("T-GCN", graph.dim, 8, seed=0)
+        ref = ReferenceEngine(m, window_size=4).run(graph)
+        conc = ConcurrentEngine(m, window_size=4, enable_skipping=False).run(graph)
+        for a, b in zip(ref.outputs, conc.outputs):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,55 @@
+"""Additional hardware-model tests: utilization, spills, energy edges."""
+
+import pytest
+
+from repro.hardware import (
+    FPGA_U280,
+    MemorySubsystem,
+    OnChipBuffer,
+    Pipeline,
+    PipelineStage,
+)
+
+
+class TestPipelineUtilization:
+    def test_zero_items(self):
+        p = Pipeline("p", [PipelineStage("a", 1)])
+        assert p.utilization(0) == 0.0
+
+    def test_long_streams_approach_full(self):
+        p = Pipeline("p", [PipelineStage("a", 1), PipelineStage("b", 1)])
+        assert p.utilization(10_000) > 0.99
+        assert p.utilization(10_000) <= 1.0
+
+    def test_unbalanced_pipeline_underutilised(self):
+        balanced = Pipeline("b", [PipelineStage("a", 2), PipelineStage("b", 2)])
+        skewed = Pipeline("s", [PipelineStage("a", 1), PipelineStage("b", 3)])
+        n = 10_000
+        assert skewed.utilization(n) < balanced.utilization(n)
+
+
+class TestMemorySpills:
+    def test_subsystem_spill_aggregation(self):
+        ms = MemorySubsystem.tagnn_default()
+        cap_words = ms.buffers["output_buffer"].usable_bytes // 4
+        spill = ms.buffers["output_buffer"].load_tile(cap_words + 100)
+        assert spill == 100
+        assert ms.total_spill_words() == 100
+        ms.reset_counters()
+        assert ms.total_spill_words() == 0
+
+    def test_exact_fit_no_spill(self):
+        b = OnChipBuffer("x", 800, ping_pong=False)
+        assert b.load_tile(200) == 0  # 800 B = 200 words
+        assert b.spill_words == 0
+
+
+class TestEnergyEdges:
+    def test_zero_everything_zero_energy(self):
+        assert FPGA_U280.total_joules() == 0.0
+
+    def test_dynamic_vs_static_split(self):
+        dyn = FPGA_U280.dynamic_joules(macs=1e9)
+        stat = FPGA_U280.static_joules(1e6)
+        total = FPGA_U280.total_joules(macs=1e9, cycles=1e6)
+        assert total == pytest.approx(dyn + stat)

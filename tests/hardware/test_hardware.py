@@ -1,0 +1,231 @@
+"""Tests for the hardware substrate: memory, pipelines, units, energy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    ASIC_1GHZ,
+    CPU_XEON,
+    FPGA_U280,
+    GPU_A100,
+    AdderTree,
+    HBMModel,
+    MACArray,
+    MemorySubsystem,
+    OnChipBuffer,
+    Pipeline,
+    PipelineStage,
+    SimilarityCore,
+    overlap,
+    serial,
+)
+
+
+class TestHBMModel:
+    def test_table4_bandwidth(self):
+        hbm = HBMModel()  # defaults are the Table 4 settings
+        assert hbm.bandwidth_gbs == 256.0
+        # 256 GB/s at 225 MHz = ~1138 B/cycle
+        assert hbm.bytes_per_cycle == pytest.approx(256e9 / 225e6)
+
+    def test_streaming_cycles_linear(self):
+        hbm = HBMModel()
+        assert hbm.cycles(words=2000) == pytest.approx(2 * hbm.cycles(words=1000))
+
+    def test_random_latency_dominates_small_transfers(self):
+        hbm = HBMModel()
+        assert hbm.cycles(randoms=100) > hbm.cycles(words=100)
+
+    def test_higher_clock_more_cycles_per_byte(self):
+        slow = HBMModel(frequency_mhz=225)
+        fast = HBMModel(frequency_mhz=1000)
+        assert fast.cycles(words=1000) > slow.cycles(words=1000)
+
+
+class TestOnChipBuffer:
+    def test_ping_pong_halves_capacity(self):
+        b = OnChipBuffer("x", 1024, ping_pong=True)
+        assert b.usable_bytes == 512
+        b2 = OnChipBuffer("x", 1024, ping_pong=False)
+        assert b2.usable_bytes == 1024
+
+    def test_fits(self):
+        b = OnChipBuffer("x", 1024)
+        assert b.fits(128)  # 512 usable bytes = 128 words
+        assert not b.fits(129)
+
+    def test_spill_accounting(self):
+        b = OnChipBuffer("x", 1024)
+        spill = b.load_tile(200)  # 128 words fit
+        assert spill == 72
+        assert b.spill_words == 72
+        assert b.load_tile(50) == 0
+
+    def test_reset(self):
+        b = OnChipBuffer("x", 1024)
+        b.access(reads=5, writes=3)
+        b.reset_counters()
+        assert b.reads == 0 and b.writes == 0
+
+
+class TestMemorySubsystem:
+    def test_tagnn_default_matches_table4(self):
+        ms = MemorySubsystem.tagnn_default()
+        assert ms.buffers["feature_memory"].capacity_bytes == 2 * 1024 * 1024
+        assert ms.buffers["task_fifo"].capacity_bytes == 256 * 1024
+        assert ms.buffers["ocsr_table"].capacity_bytes == 1024 * 1024
+        assert ms.buffers["structure_memory"].capacity_bytes == 512 * 1024
+        assert ms.buffers["intermediate"].capacity_bytes == 128 * 1024
+        assert ms.buffers["output_buffer"].capacity_bytes == 128 * 1024
+        # total ~4 MB of on-chip memory
+        assert ms.total_sram_bytes() == 4 * 1024 * 1024 - 0
+
+    def test_counters_aggregate(self):
+        ms = MemorySubsystem.tagnn_default()
+        ms.buffers["task_fifo"].access(reads=10)
+        ms.buffers["output_buffer"].access(writes=5)
+        assert ms.total_sram_accesses() == 15
+        ms.reset_counters()
+        assert ms.total_sram_accesses() == 0
+
+
+class TestPipeline:
+    def _msdl_like(self):
+        # the paper's 6-stage loader with replicated fetch stages
+        return Pipeline(
+            "msdl",
+            [
+                PipelineStage("fetch_vertex", 1),
+                PipelineStage("fetch_snapshot", 1),
+                PipelineStage("fetch_offsets", 1),
+                PipelineStage("fetch_neighbors", 4, replication=2),
+                PipelineStage("fetch_features", 4, replication=2),
+                PipelineStage("identify_vertices", 1),
+            ],
+        )
+
+    def test_initiation_interval_is_bottleneck(self):
+        p = self._msdl_like()
+        assert p.initiation_interval == 2.0  # 4 cycles / 2 replicas
+        assert p.bottleneck().name in ("fetch_neighbors", "fetch_features")
+
+    def test_fill_plus_steady_state(self):
+        p = self._msdl_like()
+        assert p.cycles(1) == pytest.approx(p.fill_latency)
+        assert p.cycles(101) == pytest.approx(p.fill_latency + 100 * 2.0)
+
+    def test_zero_items(self):
+        assert self._msdl_like().cycles(0) == 0.0
+
+    def test_replication_balances(self):
+        """The paper replicates the fetch stages; without replication the
+        pipeline would be 2x slower in steady state."""
+        unbalanced = Pipeline(
+            "u", [PipelineStage("a", 1), PipelineStage("b", 4)]
+        )
+        balanced = Pipeline(
+            "b", [PipelineStage("a", 1), PipelineStage("b", 4, replication=4)]
+        )
+        n = 10_000
+        assert balanced.cycles(n) < unbalanced.cycles(n) / 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pipeline("empty", [])
+        with pytest.raises(ValueError):
+            PipelineStage("bad", -1)
+        with pytest.raises(ValueError):
+            PipelineStage("bad", 1, replication=0)
+        with pytest.raises(ValueError):
+            self._msdl_like().cycles(-1)
+
+    @given(
+        costs=st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=8),
+        n=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cycles_bounded_by_serial_execution(self, costs, n):
+        p = Pipeline("p", [PipelineStage(f"s{i}", c) for i, c in enumerate(costs)])
+        serial_cost = n * sum(costs)
+        assert p.cycles(n) <= serial_cost + 1e-6
+        assert p.cycles(n) >= n * max(costs) - 1e-6
+
+    def test_overlap_and_serial(self):
+        assert overlap(10, 20, 5) == 20
+        assert serial(10, 20, 5) == 35
+        assert overlap() == 0.0
+
+
+class TestUnits:
+    def test_mac_array_throughput(self):
+        mac = MACArray(4096, efficiency=1.0)
+        assert mac.cycles(4096) == 1.0
+        assert mac.matmul_cycles(10, 20, 30) == pytest.approx(10 * 20 * 30 / 4096)
+
+    def test_mac_efficiency_derates(self):
+        assert MACArray(100, efficiency=0.5).cycles(100) == 2.0
+
+    def test_mac_validation(self):
+        with pytest.raises(ValueError):
+            MACArray(0)
+        with pytest.raises(ValueError):
+            MACArray(10, efficiency=1.5)
+        with pytest.raises(ValueError):
+            MACArray(10).cycles(-1)
+
+    def test_adder_tree(self):
+        t = AdderTree(width=16, count=128)
+        assert t.depth == 4
+        assert t.cycles(0) == 0.0
+        # throughput term dominates for large batches
+        assert t.cycles(16 * 128 * 1000) == pytest.approx(1000 + 4)
+
+    def test_adder_tree_aggregate(self):
+        t = AdderTree(width=16, count=128)
+        assert t.aggregate_cycles(100, 32) == t.cycles(3200)
+
+    def test_similarity_core(self):
+        s = SimilarityCore(lanes=16, count=8)
+        assert s.cycles(0, 32, 4) == 0.0
+        c1 = s.cycles(100, 32, 4)
+        c2 = s.cycles(200, 32, 4)
+        assert c2 > c1
+        # wider common-neighbour sets dominate when they exceed dim
+        assert s.cycles(100, 16, 64) > s.cycles(100, 16, 4)
+
+    def test_unit_validation(self):
+        with pytest.raises(ValueError):
+            AdderTree(width=1)
+        with pytest.raises(ValueError):
+            SimilarityCore(lanes=0)
+
+
+class TestEnergy:
+    def test_dynamic_energy_scales(self):
+        e = FPGA_U280.dynamic_joules(macs=1e9)
+        assert e == pytest.approx(1e9 * 4.0 * 1e-12)
+
+    def test_static_energy(self):
+        # 225e6 cycles at 225 MHz = 1 s -> static_watts joules
+        assert FPGA_U280.static_joules(225e6) == pytest.approx(
+            FPGA_U280.static_watts
+        )
+
+    def test_total_combines(self):
+        t = FPGA_U280.total_joules(macs=1e6, dram_words=1e6, cycles=225e6)
+        assert t == pytest.approx(
+            FPGA_U280.dynamic_joules(macs=1e6, dram_words=1e6)
+            + FPGA_U280.static_joules(225e6)
+        )
+
+    def test_platform_ordering_per_mac(self):
+        """ASIC < FPGA < GPU < CPU in energy per MAC — the technology
+        ordering behind the paper's Fig. 11."""
+        assert (
+            ASIC_1GHZ.mac_pj < FPGA_U280.mac_pj < GPU_A100.mac_pj < CPU_XEON.mac_pj
+        )
+
+    def test_seconds(self):
+        assert FPGA_U280.seconds(225e6) == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Tests for activation functions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.models import ACTIVATIONS, relu, sigmoid, softmax, tanh
+
+FLOATS = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=50),
+    elements=st.floats(min_value=-500, max_value=500),
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_extremes_saturate_without_overflow(self):
+        x = np.array([-1000.0, 1000.0])
+        with np.errstate(over="raise"):
+            out = sigmoid(x)
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    @given(FLOATS)
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_monotone(self, x):
+        out = sigmoid(np.sort(x))
+        assert np.all((out >= 0) & (out <= 1))
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_preserves_float32(self):
+        out = sigmoid(np.zeros(3, dtype=np.float32))
+        assert out.dtype == np.float32
+
+
+class TestOthers:
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0]
+        )
+
+    def test_tanh_odd(self):
+        x = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(tanh(-x), -tanh(x))
+
+    @given(FLOATS)
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_rows_sum_to_one(self, x):
+        out = softmax(x.reshape(1, -1))
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-9)
+        assert np.all(out >= 0)
+
+    def test_softmax_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_registry_complete(self):
+        assert set(ACTIVATIONS) == {"sigmoid", "tanh", "relu", "softmax"}

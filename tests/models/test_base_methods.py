@@ -1,0 +1,93 @@
+"""Tests for DGNNModel base methods: row-restricted cell updates,
+recurrent drives, and stateful window chaining."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_dataset
+from repro.models import make_model
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("GT", num_snapshots=6)
+
+
+class TestCellStepRows:
+    @pytest.mark.parametrize("name", ["T-GCN", "CD-GCN"])
+    def test_rows_match_full_step(self, graph, name):
+        """Updating a row subset must agree exactly with the same rows of
+        a full-batch update (plain cells are row-independent)."""
+        model = make_model(name, graph.dim, 16, seed=2)
+        z = model.gnn_forward(graph[0])
+        state = model.init_state(graph.num_vertices)
+        _, state = model.cell_step(z, state, graph[0])  # warm
+        z1 = model.gnn_forward(graph[1])
+        h_full, _ = model.cell_step(z1, state, graph[1])
+        rows = np.array([3, 17, 250, 800])
+        h_rows, st_rows = model.cell_step_rows(z1, state, rows, graph[1])
+        np.testing.assert_allclose(h_rows, h_full[rows], rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(st_rows.h, h_full[rows], rtol=1e-5, atol=1e-6)
+
+    def test_gclstm_rows_match_full_step(self, graph):
+        """GC-LSTM's recurrent convolution uses the *whole* state, so the
+        row-restricted path must still see it."""
+        model = make_model("GC-LSTM", graph.dim, 16, seed=2)
+        z = model.gnn_forward(graph[0])
+        state = model.init_state(graph.num_vertices)
+        _, state = model.cell_step(z, state, graph[0])
+        z1 = model.gnn_forward(graph[1])
+        h_full, _ = model.cell_step(z1, state, graph[1])
+        rows = np.array([3, 17, 250, 800])
+        h_rows, _ = model.cell_step_rows(z1, state, rows, graph[1])
+        np.testing.assert_allclose(h_rows, h_full[rows], rtol=1e-5, atol=1e-6)
+
+    def test_gclstm_rows_without_snap_falls_back(self, graph):
+        model = make_model("GC-LSTM", graph.dim, 16, seed=2)
+        z = model.gnn_forward(graph[0])
+        state = model.init_state(graph.num_vertices)
+        rows = np.arange(10)
+        h_rows, _ = model.cell_step_rows(z, state, rows, None)
+        h_plain, _ = model.cell.step(z[rows], type(state)(
+            h=state.h[rows], c=state.c[rows]
+        ))
+        np.testing.assert_allclose(h_rows, h_plain, rtol=1e-6)
+
+
+class TestRecurrentDrive:
+    def test_plain_cells_return_state(self, graph):
+        model = make_model("T-GCN", graph.dim, 16, seed=2)
+        state = model.init_state(graph.num_vertices)
+        assert model.recurrent_drive(state, graph[0]) is state.h
+
+    def test_gclstm_aggregates(self, graph):
+        model = make_model("GC-LSTM", graph.dim, 16, seed=2)
+        state = model.init_state(graph.num_vertices)
+        state.h += 1.0
+        drive = model.recurrent_drive(state, graph[0])
+        assert drive is not state.h
+        # aggregation of a constant field is the constant (mean norm)
+        present = graph[0].present
+        np.testing.assert_allclose(drive[present], 1.0, rtol=1e-5)
+
+    def test_gclstm_without_snap(self, graph):
+        model = make_model("GC-LSTM", graph.dim, 16, seed=2)
+        state = model.init_state(graph.num_vertices)
+        assert model.recurrent_drive(state, None) is state.h
+
+
+class TestForwardWindow:
+    def test_state_chaining(self, graph):
+        """forward_window with an explicit state must continue exactly
+        where a previous window stopped."""
+        model = make_model("T-GCN", graph.dim, 16, seed=2)
+        full, _ = model.forward_window(graph)
+        first, state = model.forward_window(graph.window(0, 3))
+        second, _ = model.forward_window(graph.window(3, 3), state=state)
+        for a, b in zip(full, first + second):
+            np.testing.assert_allclose(a, b, rtol=1e-6)
+
+    def test_flop_helpers(self, graph):
+        model = make_model("T-GCN", graph.dim, 16, seed=2)
+        assert model.gnn_flops(100, 500) > 0
+        assert model.cell_flops(100) == 100 * model.cell.flops_per_vertex()

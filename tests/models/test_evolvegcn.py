@@ -1,0 +1,97 @@
+"""Tests for RNN-free DGNN support (EvolveGCN + IdentityCell)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ConcurrentEngine, ReferenceEngine
+from repro.graphs import load_dataset
+from repro.models import EvolveGCN, IdentityCell, make_model
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("GT", num_snapshots=8)
+
+
+class TestIdentityCell:
+    def test_passthrough(self):
+        cell = IdentityCell(4)
+        x = np.random.default_rng(0).standard_normal((5, 4)).astype(np.float32)
+        h, state = cell.step(x, cell.init_state(5))
+        np.testing.assert_array_equal(h, x)
+        np.testing.assert_array_equal(state.h, x)
+
+    def test_zero_cost(self):
+        assert IdentityCell(8).flops_per_vertex() == 0
+        assert IdentityCell(8).w_x.size == 0
+
+    def test_dims(self):
+        cell = IdentityCell(6)
+        assert cell.input_dim == cell.hidden_dim == 6
+
+
+class TestEvolveGCN:
+    def test_registered(self, graph):
+        m = make_model("EvolveGCN", graph.dim, 32)
+        assert isinstance(m, EvolveGCN)
+        assert isinstance(m.cell, IdentityCell)
+
+    def test_weights_evolve_and_are_idempotent(self, graph):
+        m = make_model("EvolveGCN", graph.dim, 32, seed=1)
+        w0 = m.gnn.layers[0].weight.copy()
+        m.advance_window(2)
+        w2 = m.gnn.layers[0].weight.copy()
+        assert not np.allclose(w0, w2)
+        m.advance_window(0)
+        np.testing.assert_allclose(m.gnn.layers[0].weight, w0)
+        m.advance_window(2)
+        np.testing.assert_allclose(m.gnn.layers[0].weight, w2)
+
+    def test_negative_window_rejected(self, graph):
+        with pytest.raises(ValueError):
+            make_model("EvolveGCN", graph.dim, 32).advance_window(-1)
+
+    def test_evolution_changes_outputs_across_windows(self, graph):
+        m = make_model("EvolveGCN", graph.dim, 32, seed=1)
+        res = ReferenceEngine(m, window_size=4).run(graph)
+        # same snapshot features could repeat, but evolved weights make
+        # window-1 outputs differ from what window-0 weights would give
+        m.advance_window(0)
+        z0 = m.gnn_forward(graph[4])
+        m.advance_window(1)
+        z1 = m.gnn_forward(graph[4])
+        assert not np.allclose(z0, z1)
+        assert len(res.outputs) == 8
+
+    def test_concurrent_engine_bit_exact(self, graph):
+        ref = ReferenceEngine(
+            make_model("EvolveGCN", graph.dim, 32, seed=3), window_size=4
+        ).run(graph)
+        conc = ConcurrentEngine(
+            make_model("EvolveGCN", graph.dim, 32, seed=3),
+            window_size=4,
+            enable_skipping=False,
+        ).run(graph)
+        for a, b in zip(ref.outputs, conc.outputs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_skipping_is_cheap_and_bounded(self, graph):
+        ref = ReferenceEngine(
+            make_model("EvolveGCN", graph.dim, 32, seed=3), window_size=4
+        ).run(graph)
+        conc = ConcurrentEngine(
+            make_model("EvolveGCN", graph.dim, 32, seed=3), window_size=4
+        ).run(graph)
+        # identity cell -> no cell MACs at all, skipped or not
+        assert conc.metrics.cell_macs == 0
+        err = np.mean(
+            [np.abs(a - b).mean() for a, b in zip(conc.outputs, ref.outputs)]
+        )
+        assert err < 0.05
+
+    def test_no_delta_mode_for_identity_cell(self, graph):
+        conc = ConcurrentEngine(
+            make_model("EvolveGCN", graph.dim, 32, seed=3), window_size=4
+        ).run(graph)
+        assert conc.metrics.cells_delta == 0
+        assert conc.metrics.cells_skipped > 0

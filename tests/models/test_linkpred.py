@@ -1,0 +1,108 @@
+"""Tests for dynamic link prediction."""
+
+import numpy as np
+import pytest
+
+from repro.bench import get_concurrent, get_graph, get_reference
+from repro.graphs import CSRSnapshot
+from repro.models import (
+    auc_score,
+    fit_link_decoder,
+    link_prediction_auc,
+    sample_negative_edges,
+    temporal_link_prediction_auc,
+)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_score(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_perfect_inversion(self):
+        assert auc_score(np.array([0.0]), np.array([1.0])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(5000)
+        b = rng.standard_normal(5000)
+        assert abs(auc_score(a, b) - 0.5) < 0.02
+
+    def test_ties_count_half(self):
+        assert auc_score(np.array([1.0]), np.array([1.0])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([]), np.array([1.0]))
+
+
+class TestNegativeSampling:
+    def test_samples_are_non_edges(self):
+        snap = get_graph("GT")[0]
+        rng = np.random.default_rng(0)
+        neg = sample_negative_edges(snap, 200, rng=rng)
+        assert len(neg) == 200
+        for u, v in neg.tolist():
+            assert u != v
+            assert not snap.has_edge(u, v)
+            assert snap.present[u] and snap.present[v]
+
+    def test_dense_graph_raises(self):
+        # complete graph on 4 vertices: no non-edges exist
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        snap = CSRSnapshot.from_edges(4, np.array(edges), dim=2)
+        with pytest.raises(ValueError, match="non-edges"):
+            sample_negative_edges(snap, 10, rng=np.random.default_rng(0))
+
+    def test_too_few_vertices(self):
+        snap = CSRSnapshot.from_edges(1, np.empty((0, 2), dtype=int), dim=2)
+        with pytest.raises(ValueError, match="two present"):
+            sample_negative_edges(snap, 1, rng=np.random.default_rng(0))
+
+
+class TestLinkPrediction:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = get_graph("GT")
+        ref = get_reference("GC-LSTM", "GT")
+        return g, ref.outputs
+
+    def test_trained_decoder_beats_chance(self, setup):
+        g, outs = setup
+        auc = temporal_link_prediction_auc(outs, g, num_samples=600)
+        assert auc > 0.55
+
+    def test_trained_decoder_beats_raw_inner_product(self, setup):
+        g, outs = setup
+        w = fit_link_decoder(outs[3], g[3], num_samples=600)
+        trained = link_prediction_auc(outs[3], g[4], decoder=w, num_samples=600)
+        raw = link_prediction_auc(outs[3], g[4], num_samples=600)
+        assert trained > raw
+
+    def test_shuffled_embeddings_are_chance(self, setup):
+        """Destroying the vertex-embedding correspondence must collapse
+        AUC to ~0.5 — the decoder cannot cheat."""
+        g, outs = setup
+        rng = np.random.default_rng(0)
+        shuffled = [h[rng.permutation(len(h))] for h in outs]
+        auc = temporal_link_prediction_auc(shuffled, g, num_samples=600)
+        assert abs(auc - 0.5) < 0.08
+
+    def test_skipping_preserves_auc(self, setup):
+        """Cell skipping must not cost more than ~2 AUC points under the
+        exact model's decoder (the structural analogue of Table 5)."""
+        g, outs = setup
+        skip = get_concurrent("GC-LSTM", "GT")
+        auc_ref = temporal_link_prediction_auc(outs, g, num_samples=600)
+        auc_skip = temporal_link_prediction_auc(
+            skip.outputs, g, num_samples=600, decoder_outputs=outs
+        )
+        assert auc_ref - auc_skip < 0.02
+
+    def test_validation(self, setup):
+        g, outs = setup
+        with pytest.raises(ValueError, match="mismatch"):
+            temporal_link_prediction_auc(outs[:2], g)
+        with pytest.raises(ValueError, match="no transitions"):
+            temporal_link_prediction_auc(
+                outs, g, warmup=g.num_snapshots
+            )

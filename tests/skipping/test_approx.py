@@ -1,0 +1,153 @@
+"""Tests for the RNN approximation baselines (Table 5 comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.models import GRUCell, LSTMCell, sigmoid, tanh
+from repro.skipping import (
+    APPROXIMATORS,
+    ALSTMApprox,
+    ATLASApprox,
+    DeltaRNNApprox,
+    ExactRNN,
+    generic_cell_step,
+    hard_sigmoid,
+    hard_tanh,
+    quantize,
+    truncate_mantissa,
+)
+
+
+class TestPrimitives:
+    def test_hard_sigmoid_shape(self):
+        x = np.array([-10.0, -2.0, 0.0, 2.0, 10.0])
+        np.testing.assert_allclose(hard_sigmoid(x), [0.0, 0.0, 0.5, 1.0, 1.0])
+
+    def test_hard_tanh(self):
+        x = np.array([-5.0, -0.5, 0.5, 5.0])
+        np.testing.assert_allclose(hard_tanh(x), [-1.0, -0.5, 0.5, 1.0])
+
+    def test_hard_variants_close_to_exact_near_zero(self):
+        x = np.linspace(-0.2, 0.2, 11)
+        assert np.max(np.abs(hard_sigmoid(x) - sigmoid(x))) < 0.01
+        assert np.max(np.abs(hard_tanh(x) - tanh(x))) < 0.01
+
+    def test_truncate_mantissa_identity_at_23_bits(self):
+        x = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        np.testing.assert_array_equal(truncate_mantissa(x, 23), x)
+
+    def test_truncate_mantissa_error_bounded(self):
+        x = np.random.default_rng(0).standard_normal(1000).astype(np.float32)
+        for bits in (3, 6, 10):
+            y = truncate_mantissa(x, bits)
+            rel = np.abs((y - x) / x)
+            assert rel.max() <= 2.0 ** (-bits)  # truncation error bound
+
+    def test_truncate_mantissa_validates(self):
+        with pytest.raises(ValueError):
+            truncate_mantissa(np.zeros(1, np.float32), 24)
+
+    def test_quantize(self):
+        x = np.array([0.1, 0.26, -0.4])
+        np.testing.assert_allclose(quantize(x, 0.25), [0.0, 0.25, -0.5])
+        with pytest.raises(ValueError):
+            quantize(x, 0.0)
+
+
+@pytest.mark.parametrize("cell_cls", [LSTMCell, GRUCell])
+class TestGenericStep:
+    def test_defaults_match_exact_cell(self, cell_cls):
+        cell = cell_cls(5, 4, seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((7, 5)).astype(np.float32)
+        state = cell.init_state(7)
+        # warm the state
+        _, state = cell.step(x, state)
+        h_exact, _ = cell.step(x, state)
+        h_generic, _ = generic_cell_step(cell, x, state)
+        np.testing.assert_allclose(h_generic, h_exact, rtol=1e-6, atol=1e-7)
+
+    def test_unsupported_cell(self, cell_cls):
+        with pytest.raises(TypeError):
+            generic_cell_step(object(), np.zeros((1, 1)), None)
+
+
+@pytest.mark.parametrize("cell_cls", [LSTMCell, GRUCell])
+class TestApproximators:
+    def _run(self, approx, cell, xs):
+        approx.start(cell, xs[0].shape[0])
+        state = cell.init_state(xs[0].shape[0])
+        outs = []
+        for x in xs:
+            h, state = approx.cell_step(cell, x, state)
+            outs.append(h)
+        return outs
+
+    def _inputs(self, n=10, d=6, t=5, seed=0):
+        rng = np.random.default_rng(seed)
+        base = rng.standard_normal((n, d)).astype(np.float32)
+        return [base + 0.1 * k for k in range(t)]
+
+    def test_exact_baseline_is_identity(self, cell_cls):
+        cell = cell_cls(6, 4, seed=0)
+        xs = self._inputs()
+        ref = self._run(ExactRNN(), cell, xs)
+        state = cell.init_state(10)
+        for x, h_ref in zip(xs, ref):
+            h, state = cell.step(x, state)
+            np.testing.assert_array_equal(h, h_ref)
+
+    @pytest.mark.parametrize("name", ["TaGNN-DR", "TaGNN-AM", "TaGNN-AS"])
+    def test_approximations_close_but_not_exact(self, cell_cls, name):
+        cell = cell_cls(6, 4, seed=0)
+        xs = self._inputs()
+        ref = self._run(ExactRNN(), cell, xs)
+        out = self._run(APPROXIMATORS[name](), cell, xs)
+        err = max(np.abs(a - b).max() for a, b in zip(out, ref))
+        assert 0 < err < 1.0  # perturbed, but not garbage
+
+    def test_deltarnn_zero_threshold_is_exact(self, cell_cls):
+        """With Θ = 0 DeltaRNN degenerates to exact inference."""
+        cell = cell_cls(6, 4, seed=0)
+        xs = self._inputs()
+        ref = self._run(ExactRNN(), cell, xs)
+        out = self._run(DeltaRNNApprox(threshold=0.0), cell, xs)
+        for a, b in zip(out, ref):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_deltarnn_error_grows_with_threshold(self, cell_cls):
+        cell = cell_cls(6, 4, seed=0)
+        xs = self._inputs()
+        ref = self._run(ExactRNN(), cell, xs)
+
+        def final_err(th):
+            out = self._run(DeltaRNNApprox(threshold=th), cell, xs)
+            return np.abs(out[-1] - ref[-1]).mean()
+
+        assert final_err(0.3) > final_err(0.05)
+
+    def test_atlas_error_shrinks_with_bits(self, cell_cls):
+        cell = cell_cls(6, 4, seed=0)
+        xs = self._inputs()
+        ref = self._run(ExactRNN(), cell, xs)
+
+        def final_err(bits):
+            out = self._run(ATLASApprox(mantissa_bits=bits), cell, xs)
+            return np.abs(out[-1] - ref[-1]).mean()
+
+        assert final_err(2) > final_err(10)
+
+    def test_alstm_determinism(self, cell_cls):
+        cell = cell_cls(6, 4, seed=0)
+        xs = self._inputs()
+        a = self._run(ALSTMApprox(), cell, xs)
+        b = self._run(ALSTMApprox(), cell, xs)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_registry(self, cell_cls):
+        assert set(APPROXIMATORS) == {"Baseline", "TaGNN-DR", "TaGNN-AM", "TaGNN-AS"}
+
+    def test_deltarnn_negative_threshold_rejected(self, cell_cls):
+        with pytest.raises(ValueError):
+            DeltaRNNApprox(threshold=-1)

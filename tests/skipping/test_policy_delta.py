@@ -1,0 +1,190 @@
+"""Tests for the skipping policy and the delta/condense path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import GRUCell, LSTMCell
+from repro.skipping import (
+    CellUpdateMode,
+    DeltaCellCache,
+    ModeDecision,
+    SkippingPolicy,
+    SkipThresholds,
+    condense,
+    generate_delta,
+)
+
+
+class TestThresholds:
+    def test_defaults_match_fig14a_optimum(self):
+        t = SkipThresholds()
+        assert t.theta_s == -0.5 and t.theta_e == 0.5
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            SkipThresholds(0.5, -0.5)
+        with pytest.raises(ValueError):
+            SkipThresholds(-2.0, 0.5)
+
+    def test_never_skip_flag(self):
+        assert SkipThresholds(1.0, 1.0).never_skip
+        assert not SkipThresholds().never_skip
+
+
+class TestPolicy:
+    def test_three_way_split(self):
+        p = SkippingPolicy(SkipThresholds(-0.5, 0.5))
+        v = np.arange(5)
+        theta = np.array([-0.9, -0.5, 0.0, 0.5, 0.9])
+        d = p.decide(v, theta)
+        assert d.modes.tolist() == [
+            CellUpdateMode.FULL,
+            CellUpdateMode.DELTA,
+            CellUpdateMode.DELTA,
+            CellUpdateMode.DELTA,
+            CellUpdateMode.SKIP,
+        ]
+
+    def test_rows_by_mode(self):
+        p = SkippingPolicy()
+        d = p.decide(np.array([10, 20, 30]), np.array([-0.9, 0.0, 0.9]))
+        assert d.rows(CellUpdateMode.FULL).tolist() == [10]
+        assert d.rows(CellUpdateMode.DELTA).tolist() == [20]
+        assert d.rows(CellUpdateMode.SKIP).tolist() == [30]
+
+    def test_counts_and_skip_fraction(self):
+        p = SkippingPolicy()
+        d = p.decide(np.arange(4), np.array([0.9, 0.9, 0.0, -0.9]))
+        assert d.counts() == {"full": 1, "delta": 1, "skip": 2}
+        assert d.skip_fraction() == 0.5
+
+    def test_empty_decision(self):
+        d = SkippingPolicy().decide(np.array([]), np.array([]))
+        assert d.skip_fraction() == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SkippingPolicy().decide(np.arange(3), np.zeros(2))
+
+    @given(
+        theta=st.lists(
+            st.floats(min_value=-1, max_value=1), min_size=1, max_size=50
+        ),
+        ts=st.floats(min_value=-1, max_value=0.9),
+        width=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, theta, ts, width):
+        te = min(1.0, ts + width)
+        p = SkippingPolicy(SkipThresholds(ts, te))
+        theta = np.array(theta)
+        d = p.decide(np.arange(len(theta)), theta)
+        # every vertex gets exactly one mode, consistent with thresholds
+        assert np.all(
+            (d.modes == CellUpdateMode.SKIP) == (theta > te)
+        )
+        assert np.all(
+            (d.modes == CellUpdateMode.FULL) == (theta < ts)
+        )
+
+
+class TestDeltaGeneration:
+    def test_thresholding(self):
+        z0 = np.zeros((2, 4), dtype=np.float32)
+        z1 = np.array(
+            [[0.0005, 0.5, -0.0005, -0.5], [0.0, 0.0, 0.0, 2.0]], dtype=np.float32
+        )
+        d = generate_delta(z1, z0, epsilon=1e-3)
+        assert d[0].tolist() == [0.0, 0.5, 0.0, -0.5]
+        assert d[1, 3] == 2.0
+
+    def test_condense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        delta = rng.standard_normal((6, 8)).astype(np.float32)
+        delta[np.abs(delta) < 0.8] = 0.0
+        packed = condense(delta)
+        np.testing.assert_array_equal(packed.expand(), delta)
+        assert packed.nnz == int((delta != 0).sum())
+
+    def test_condense_density(self):
+        delta = np.zeros((4, 5), dtype=np.float32)
+        delta[0, 0] = 1.0
+        packed = condense(delta)
+        assert packed.density() == pytest.approx(1 / 20)
+        assert packed.rows.tolist() == [0]
+
+    def test_condense_all_zero(self):
+        packed = condense(np.zeros((3, 3), dtype=np.float32))
+        assert packed.nnz == 0
+        assert len(packed.rows) == 0
+
+
+@pytest.mark.parametrize("cell_cls", [LSTMCell, GRUCell])
+class TestDeltaCellCache:
+    def _setup(self, cell_cls, n=6, din=5, dh=4):
+        cell = cell_cls(din, dh, seed=0)
+        cache = DeltaCellCache(cell, n)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((n, din)).astype(np.float32)
+        state = cell.init_state(n)
+        return cell, cache, x, state
+
+    def test_partial_step_with_zero_delta_matches_full(self, cell_cls):
+        """If the input did not change at all, the partial update must
+        reproduce the full cell update exactly (recurrent path frozen at
+        the cached value, which is also unchanged)."""
+        cell, cache, x, state = self._setup(cell_cls)
+        h_full, st_full = cell.step(x, state)
+        cache.refresh(np.arange(6), x, state.h)
+        h_part, st_part, packed = cache.partial_step(np.arange(6), x, state)
+        np.testing.assert_allclose(h_part, h_full, rtol=1e-5, atol=1e-6)
+        assert packed.nnz == 0
+
+    def test_partial_step_tracks_small_changes(self, cell_cls):
+        """Small input deltas above epsilon are applied through the
+        cached path with first-order exactness in the input."""
+        cell, cache, x, state = self._setup(cell_cls)
+        cache.refresh(np.arange(6), x, state.h)
+        x2 = x.copy()
+        x2[:, 0] += 0.5  # one changed column
+        h_ref, _ = cell.step(x2, state)
+        h_part, _, packed = cache.partial_step(np.arange(6), x2, state, epsilon=1e-4)
+        # input path is exact (recurrent path unchanged from cache):
+        np.testing.assert_allclose(h_part, h_ref, rtol=1e-4, atol=1e-5)
+        assert packed.nnz == 6  # one column per row survived
+
+    def test_partial_step_empty_rows_raises(self, cell_cls):
+        cell, cache, x, state = self._setup(cell_cls)
+        with pytest.raises(ValueError):
+            cache.partial_step(np.array([], dtype=np.int64), x, state)
+
+    def test_refresh_subset_only(self, cell_cls):
+        cell, cache, x, state = self._setup(cell_cls)
+        cache.refresh(np.array([0, 2]), x, state.h)
+        assert np.all(cache.z_input[1] == 0)
+        assert np.any(cache.z_input[0] != 0)
+
+    def test_sequential_deltas_accumulate(self, cell_cls):
+        """Two consecutive partial updates equal one partial update with
+        the combined delta (cache consistency)."""
+        cell, cache, x, state = self._setup(cell_cls)
+        cache.refresh(np.arange(6), x, state.h)
+        xa = x.copy(); xa[:, 1] += 0.3
+        xb = xa.copy(); xb[:, 2] -= 0.4
+        cache.partial_step(np.arange(6), xa, state, epsilon=1e-5)
+        h_two, _, _ = cache.partial_step(np.arange(6), xb, state, epsilon=1e-5)
+
+        cache2 = DeltaCellCache(cell, 6)
+        cache2.refresh(np.arange(6), x, state.h)
+        h_one, _, _ = cache2.partial_step(np.arange(6), xb, state, epsilon=1e-5)
+        np.testing.assert_allclose(h_two, h_one, rtol=1e-4, atol=1e-5)
+
+    def test_unsupported_cell_rejected(self, cell_cls):
+        class Fake:
+            input_dim = 3
+            hidden_dim = 3
+
+        with pytest.raises(TypeError):
+            DeltaCellCache(Fake(), 4)

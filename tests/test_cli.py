@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.dataset == "GT"
+        assert args.model == "T-GCN"
+        assert args.dcus == 16
+        assert args.macs == 4096
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--no-oadl", "--dcus", "8", "--dataset", "ML"]
+        )
+        assert args.no_oadl and not args.no_adsc
+        assert args.dcus == 8 and args.dataset == "ML"
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "HepPh" in out and "Flicker" in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "--dataset", "GT", "--snapshots", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "unaffected" in out and "affected subgraph" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--dataset", "GT", "--snapshots", "4",
+             "--model", "T-GCN"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "breakdown" in out
+
+    def test_simulate_ablated(self, capsys):
+        assert main(
+            ["simulate", "--dataset", "GT", "--snapshots", "4", "--no-adsc"]
+        ) == 0
+        assert "skip ratio 0.00" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--dataset", "GT", "--snapshots", "4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DGNN-Booster", "E-DGCN", "Cambricon-DG", "DGL-CPU",
+                     "PiPAD", "TaGNN-S", "TaGNN"):
+            assert name in out
+
+    def test_accuracy(self, capsys):
+        assert main(["accuracy", "--dataset", "GT", "--snapshots", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "exact inference" in out and "with skipping" in out
+
+    def test_evolvegcn_via_cli(self, capsys):
+        assert main(
+            ["simulate", "--dataset", "GT", "--snapshots", "4",
+             "--model", "EvolveGCN"]
+        ) == 0
+        assert "latency" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats(self, capsys):
+        assert main(["stats", "--dataset", "GT", "--snapshots", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal profile" in out
+        assert "unaffected ratio" in out
+
+
+class TestGenerate:
+    def test_generate_writes_archive(self, tmp_path, capsys):
+        out = str(tmp_path / "gt.npz")
+        assert main(
+            ["generate", "--dataset", "GT", "--snapshots", "3", "--out", out]
+        ) == 0
+        from repro.graphs import load_dynamic_graph
+
+        g = load_dynamic_graph(out)
+        assert g.num_snapshots == 3
+        assert "wrote" in capsys.readouterr().out

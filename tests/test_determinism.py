@@ -1,0 +1,62 @@
+"""End-to-end determinism locks.
+
+Every number this repository reports must be exactly reproducible: same
+inputs, same bits.  These tests run key pipelines twice from scratch and
+require identity (not closeness) — the property the archived
+test/bench outputs rely on.
+"""
+
+import numpy as np
+
+from repro.accel import CycleSimulator, TaGNNSimulator, WorkloadStats
+from repro.engine import ConcurrentEngine, ReferenceEngine
+from repro.graphs import load_dataset
+from repro.models import make_model, make_teacher_labels
+
+
+def build_everything(seed=3):
+    g = load_dataset("GT", num_snapshots=6, seed=seed)
+    m = make_model("T-GCN", g.dim, 16, seed=seed)
+    ref = ReferenceEngine(m, window_size=4).run(g)
+    conc = ConcurrentEngine(
+        make_model("T-GCN", g.dim, 16, seed=seed), window_size=4
+    ).run(g)
+    wl = WorkloadStats.analyze(g, m, 4)
+    rep = TaGNNSimulator().simulate(m, g, "GT", workload=wl)
+    ev = CycleSimulator().run_workload(wl, skip_ratio=0.5)
+    labels = make_teacher_labels(g, 4)
+    return g, ref, conc, rep, ev, labels
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self):
+        g1, ref1, conc1, rep1, ev1, lab1 = build_everything()
+        g2, ref2, conc2, rep2, ev2, lab2 = build_everything()
+
+        for a, b in zip(ref1.outputs, ref2.outputs):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(conc1.outputs, conc2.outputs):
+            np.testing.assert_array_equal(a, b)
+        assert rep1.cycles == rep2.cycles
+        assert rep1.joules == rep2.joules
+        assert rep1.extra["words"] == rep2.extra["words"]
+        assert ev1.total_cycles == ev2.total_cycles
+        np.testing.assert_array_equal(lab1, lab2)
+
+    def test_metrics_identical(self):
+        _, _, conc1, *_ = build_everything()
+        _, _, conc2, *_ = build_everything()
+        assert conc1.metrics.as_dict() == conc2.metrics.as_dict()
+
+    def test_decisions_identical(self):
+        _, _, conc1, *_ = build_everything()
+        _, _, conc2, *_ = build_everything()
+        for d1, d2 in zip(conc1.extra["decisions"], conc2.extra["decisions"]):
+            np.testing.assert_array_equal(d1.vertices, d2.vertices)
+            np.testing.assert_array_equal(d1.modes, d2.modes)
+            np.testing.assert_array_equal(d1.theta, d2.theta)
+
+    def test_different_seed_differs(self):
+        _, ref1, *_ = build_everything(seed=3)
+        _, ref2, *_ = build_everything(seed=4)
+        assert not np.array_equal(ref1.outputs[-1], ref2.outputs[-1])

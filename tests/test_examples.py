@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are part of the public deliverable; they run as subprocesses so
+an example crashing (or calling sys.exit) cannot take the test session
+down with it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "anomaly_detection.py",
+    "streaming_updates.py",
+    "accelerator_codesign.py",
+    "public_trace_study.py",
+    "online_inference.py",
+]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()  # examples must narrate what they did
+
+
+def test_quickstart_reports_key_results():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    out = proc.stdout
+    assert "TaGNN accelerator" in out
+    assert "faster" in out
+    assert "max |diff| = 0.00e+00" in out  # the exactness check
