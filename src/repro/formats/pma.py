@@ -169,12 +169,14 @@ class PackedMemoryArray:
             left -= 1
         if left < 0:  # pragma: no cover - prevented by root-density resize
             raise RuntimeError("PMA full despite density bound")
+        # slots (left, slot) hold keys < key and slot holds the successor,
+        # so shift the predecessor run left by one and open slot - 1
         n = slot - left - 1
-        self.keys[left:slot] = self.keys[left + 1 : slot + 1]
-        self.payload[left:slot] = self.payload[left + 1 : slot + 1]
+        self.keys[left : slot - 1] = self.keys[left + 1 : slot]
+        self.payload[left : slot - 1] = self.payload[left + 1 : slot]
         self.moved_slots += n
-        self.keys[slot] = key
-        self.payload[slot] = payload
+        self.keys[slot - 1] = key
+        self.payload[slot - 1] = payload
 
     def delete(self, key: int) -> bool:
         """Remove ``key``; returns whether it was present."""
