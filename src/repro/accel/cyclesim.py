@@ -27,6 +27,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.sanitizer import (
+    check_cyclesim_result,
+    require,
+    sanitizer_enabled,
+)
 from .config import TaGNNConfig
 from .workload import WorkloadStats
 
@@ -168,6 +173,7 @@ class CycleSimulator:
         heapq.heapify(dcu_free)
         heapq.heapify(aru_free)
 
+        sanitize = sanitizer_enabled()
         loader_t = 0.0
         stall = 0.0
         dcu_busy = 0.0
@@ -203,6 +209,15 @@ class CycleSimulator:
             occ = len(dispatch_times) - bisect.bisect_right(
                 dispatch_times, loader_t
             )
+            if sanitize:
+                # raw (unclamped) occupancy must respect the backpressure
+                # rule; clamping below would otherwise hide a violation
+                require(
+                    occ <= self.fifo_capacity,
+                    "cyclesim-fifo-bound", "tasks", occ,
+                    f"<= capacity = {self.fifo_capacity}",
+                    f"CycleSimulator.run task {i}",
+                )
             max_occ = max(max_occ, min(occ, self.fifo_capacity))
 
             # --- ARU stage -------------------------------------------
@@ -214,7 +229,7 @@ class CycleSimulator:
                 heapq.heappush(aru_free, a_start + a_service)
 
         total = max(max(dcu_free), max(aru_free), loader_t)
-        return CycleSimResult(
+        result = CycleSimResult(
             total_cycles=total,
             loader_stall_cycles=stall,
             dcu_utilization=dcu_busy / (total * n_dcu) if total else 0.0,
@@ -222,6 +237,16 @@ class CycleSimulator:
             max_fifo_occupancy=max_occ,
             tasks=len(tasks),
         )
+        if sanitize:
+            check_cyclesim_result(
+                result,
+                n_dcu=n_dcu,
+                n_aru=n_aru,
+                fifo_capacity=self.fifo_capacity,
+                dcu_busy=dcu_busy,
+                aru_busy=aru_busy,
+            )
+        return result
 
     # ------------------------------------------------------------------
     def run_workload(

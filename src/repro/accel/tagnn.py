@@ -25,6 +25,7 @@ pipeline fill; disabling overlap serialises them.
 
 from __future__ import annotations
 
+from ..check.sanitizer import check_energy_composition, sanitizer_enabled
 from ..engine.concurrent import ConcurrentEngine
 from ..engine.reference import EngineResult
 from ..graphs.dynamic import DynamicGraph
@@ -144,6 +145,8 @@ class TaGNNSimulator:
             "dram_j": e_dram,
             "static_j": e_static,
         }
+        if sanitizer_enabled():
+            check_energy_composition(joules, energy_breakdown)
 
         return SimulationReport(
             platform="TaGNN",

@@ -1,0 +1,59 @@
+"""repro.check — simulator-invariant static analysis + runtime sanitizer.
+
+Two halves (see docs/static_analysis.md):
+
+* **Static pass** — ``python -m repro.check src/`` runs the repo-specific
+  AST rules R001 (determinism), R002 (frozen-model mutation), R003 (unit
+  discipline), R004 (API hygiene), and R005 (validation coverage), and
+  exits non-zero on any finding.
+* **Runtime sanitizer** — ``REPRO_SANITIZE=1`` (or the
+  :func:`sanitized` context manager) turns on conservation checks inside
+  the cycle simulator, the memory models, O-CSR, and the energy
+  composition; violations raise :class:`SanitizerViolation`.
+"""
+
+from __future__ import annotations
+
+from .config import CheckConfig, load_config
+from .findings import Finding
+from .registry import RULES, ModuleContext, ProjectContext, Rule, rule
+from .runner import main, scan_paths
+from .sanitizer import (
+    SanitizerStats,
+    SanitizerViolation,
+    check_buffer,
+    check_cyclesim_result,
+    check_energy_composition,
+    check_hbm_request,
+    check_ocsr,
+    require,
+    reset_sanitizer_stats,
+    sanitized,
+    sanitizer_enabled,
+    sanitizer_stats,
+)
+
+__all__ = [
+    "CheckConfig",
+    "Finding",
+    "ModuleContext",
+    "ProjectContext",
+    "RULES",
+    "Rule",
+    "SanitizerStats",
+    "SanitizerViolation",
+    "check_buffer",
+    "check_cyclesim_result",
+    "check_energy_composition",
+    "check_hbm_request",
+    "check_ocsr",
+    "load_config",
+    "main",
+    "require",
+    "reset_sanitizer_stats",
+    "rule",
+    "sanitized",
+    "sanitizer_enabled",
+    "sanitizer_stats",
+    "scan_paths",
+]

@@ -1,0 +1,26 @@
+"""The finding record every rule emits.
+
+A finding pins one violation to a ``file:line`` location with the rule
+code that produced it — the unit the runner sorts, filters through
+``# repro: noqa`` comments, and prints for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical ``file:line code message`` output line."""
+        return f"{self.path}:{self.line} {self.code} {self.message}"

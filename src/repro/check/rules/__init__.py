@@ -1,0 +1,11 @@
+"""Repo-specific rules R001-R005.
+
+Importing this package registers every rule in
+:data:`repro.check.registry.RULES`.
+"""
+
+from __future__ import annotations
+
+from . import api, determinism, frozen, units, validation
+
+__all__ = ["api", "determinism", "frozen", "units", "validation"]

@@ -1,0 +1,129 @@
+"""R004 — API hygiene: ``__all__`` exists and matches the public defs.
+
+Every importable ``repro`` module must declare ``__all__`` as a literal
+list/tuple of strings, every public top-level definition (class,
+function, or constant whose name has no leading underscore) must appear
+in it, every entry must resolve to something the module actually
+defines or imports, and entries must be unique.  ``__init__.py``
+re-exports are exempt from the must-list direction (imported names are
+pass-throughs) but their ``__all__`` entries must still resolve.
+``__main__.py`` entry-point scripts have no importable API and are
+skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, rule
+
+__all__ = ["check_api_hygiene", "module_public_names"]
+
+
+def _all_assignment(tree: ast.Module) -> tuple[ast.AST | None, list[str] | None]:
+    """The ``__all__`` node and its string entries (None if absent or
+    not a literal string sequence)."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return node, [e.value for e in value.elts]
+        return node, None
+    return None, None
+
+
+def module_public_names(tree: ast.Module) -> dict[str, int]:
+    """Public top-level definitions → line, excluding imports."""
+    out: dict[str, int] = {}
+    for node in tree.body:
+        names: list[str] = []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names = [node.name]
+        elif isinstance(node, ast.Assign):
+            names = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names = [node.target.id]
+        for name in names:
+            if not name.startswith("_"):
+                out.setdefault(name, node.lineno)
+    return out
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Everything a top-level ``__all__`` entry may resolve to,
+    including imported names."""
+    names = set(module_public_names(tree))
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for a in node.names:
+                names.add(a.asname or a.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+@rule("R004", "api-hygiene", "__all__ must exist and match public defs")
+def check_api_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.path.name == "__main__.py":
+        return
+    node, entries = _all_assignment(ctx.tree)
+    if node is None:
+        yield ctx.finding(1, "R004", "module defines no __all__")
+        return
+    if entries is None:
+        yield ctx.finding(
+            node, "R004",
+            "__all__ must be a literal list/tuple of strings")
+        return
+
+    seen: set[str] = set()
+    for entry in entries:
+        if entry in seen:
+            yield ctx.finding(node, "R004",
+                              f"duplicate __all__ entry '{entry}'")
+        seen.add(entry)
+
+    defined = _defined_names(ctx.tree)
+    if ctx.path.name == "__init__.py":
+        # a package __all__ may name sibling submodules (imported lazily
+        # by ``from pkg import *``)
+        for sibling in ctx.path.parent.iterdir():
+            if sibling.suffix == ".py":
+                defined.add(sibling.stem)
+            elif (sibling / "__init__.py").is_file():
+                defined.add(sibling.name)
+    star_reexport = any(
+        isinstance(n, ast.ImportFrom) and any(a.name == "*" for a in n.names)
+        for n in ctx.tree.body
+    )
+    for entry in sorted(seen):
+        if entry not in defined and not star_reexport:
+            yield ctx.finding(
+                node, "R004",
+                f"__all__ entry '{entry}' is not defined in the module")
+
+    if ctx.path.name != "__init__.py":
+        for name, line in sorted(module_public_names(ctx.tree).items()):
+            if name not in seen:
+                yield ctx.finding(
+                    line, "R004",
+                    f"public name '{name}' is missing from __all__")

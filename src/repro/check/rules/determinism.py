@@ -1,0 +1,114 @@
+"""R001 — determinism: no hidden entropy in the simulator core.
+
+The cycle simulators promise "same tasks, same result" (cyclesim.py) and
+every archived bench number depends on it.  Inside the configured core
+directories (default: ``accel/``, ``hardware/``, ``engine/``,
+``formats/``) this rule forbids
+
+* the stdlib ``random`` module (any import),
+* wall-clock reads (``time.time``/``time_ns``/``perf_counter``/
+  ``monotonic`` and ``datetime.now``/``utcnow``),
+* ``os.urandom`` and ``uuid.uuid4``,
+* the legacy numpy global RNG (``np.random.<anything>`` except
+  ``default_rng``), and
+* ``np.random.default_rng()`` called without an explicit seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, dotted_name, rule
+
+__all__ = ["check_determinism"]
+
+_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+)
+_FORBIDDEN_DOTTED = ("os.urandom", "uuid.uuid4")
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    aliases = {"numpy"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "numpy":
+                    aliases.add(a.asname or "numpy")
+    return aliases
+
+
+@rule("R001", "determinism",
+      "forbid nondeterministic sources in the simulator core")
+def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
+    cfg = ctx.project.config
+    if not cfg.path_covered(ctx.relpath, cfg.determinism_paths):
+        return
+    np_aliases = _numpy_aliases(ctx.tree)
+    unseeded_rng_calls: set[ast.AST] = set()
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name.split(".")[0] == "random":
+                    yield ctx.finding(
+                        node, "R001",
+                        "stdlib 'random' is forbidden in the simulator core"
+                        " (use a seeded np.random.default_rng)")
+        elif isinstance(node, ast.ImportFrom):
+            mod = (node.module or "").split(".")[0]
+            if mod == "random":
+                yield ctx.finding(
+                    node, "R001",
+                    "stdlib 'random' is forbidden in the simulator core")
+            elif mod == "time":
+                bad = [a.name for a in node.names
+                       if "time." + a.name in _CLOCK_SUFFIXES]
+                for name in bad:
+                    yield ctx.finding(
+                        node, "R001",
+                        f"wall-clock 'time.{name}' is forbidden in the"
+                        " simulator core")
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name.split(".")[0] in np_aliases and name.endswith(
+                ".random.default_rng"
+            ):
+                if not node.args and not node.keywords:
+                    unseeded_rng_calls.add(node.func)
+                    yield ctx.finding(
+                        node, "R001",
+                        "np.random.default_rng() without an explicit seed")
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        name = dotted_name(node)
+        if name is None or node in unseeded_rng_calls:
+            continue
+        if name in _FORBIDDEN_DOTTED or any(
+            name == s or name.endswith("." + s) for s in _CLOCK_SUFFIXES
+        ):
+            yield ctx.finding(
+                node, "R001",
+                f"nondeterministic '{name}' is forbidden in the simulator"
+                " core")
+            continue
+        root, *rest = name.split(".")
+        if root in np_aliases and len(rest) >= 2 and rest[0] == "random":
+            if rest[1] != "default_rng":
+                yield ctx.finding(
+                    node, "R001",
+                    f"legacy global RNG '{name}' is forbidden"
+                    " (use a seeded np.random.default_rng)")

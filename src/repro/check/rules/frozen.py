@@ -1,0 +1,176 @@
+"""R002 — frozen-model mutation: no writes to frozen dataclass instances.
+
+``Task``, ``MACArray``, ``TaGNNConfig``, the snapshot types, and the
+other ``@dataclass(frozen=True)`` records are immutable by contract —
+the simulators may share them freely only because nothing mutates them.
+This rule flags
+
+* ``object.__setattr__(...)`` anywhere except a frozen class's own
+  ``__init__``/``__post_init__`` (the one sanctioned loophole), and
+* attribute assignment (plain or augmented) through a name that is
+  provably a frozen-dataclass instance in the enclosing scope: a
+  parameter or variable annotated with a frozen class, or a variable
+  assigned directly from a frozen-class constructor call.
+
+Frozen class names are collected repo-wide in a first pass, so a module
+mutating ``Task`` objects is caught even though ``Task`` is defined
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, dotted_name, rule
+
+__all__ = ["check_frozen_mutation", "collect_frozen_classes"]
+
+
+def is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """Whether a class is decorated ``@dataclass(frozen=True)``."""
+    for dec in node.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        name = dotted_name(dec.func)
+        if name not in ("dataclass", "dataclasses.dataclass"):
+            continue
+        for kw in dec.keywords:
+            if (
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def collect_frozen_classes(tree: ast.Module) -> set[str]:
+    """Names of frozen dataclasses defined in one module."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef) and is_frozen_dataclass(node)
+    }
+
+
+def _annotation_name(node: ast.AST | None) -> str | None:
+    """The class name of a simple annotation (``Task`` or ``x.Task``);
+    unwraps ``Optional``-style ``X | None`` unions."""
+    if node is None:
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_name(node.left)
+        right = _annotation_name(node.right)
+        return left or right
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    name = dotted_name(node)
+    return name.split(".")[-1] if name else None
+
+
+def _frozen_locals(fn: ast.AST, frozen: frozenset[str]) -> dict[str, str]:
+    """Map of local names provably bound to frozen-class instances."""
+    out: dict[str, str] = {}
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ):
+            cls = _annotation_name(a.annotation)
+            if cls in frozen:
+                out[a.arg] = cls
+    for node in ast.walk(fn):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            cls = _annotation_name(node.annotation)
+            if cls in frozen:
+                out[node.target.id] = cls
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = dotted_name(node.value.func)
+            cls = callee.split(".")[-1] if callee else None
+            if cls in frozen:
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        out[t.id] = cls
+    return out
+
+
+@rule("R002", "frozen-model-mutation",
+      "flag mutation of frozen dataclass instances")
+def check_frozen_mutation(ctx: ModuleContext) -> Iterator[Finding]:
+    frozen = ctx.project.frozen_classes
+    if not frozen:
+        return
+
+    # map every function node to (enclosing class, method name) so the
+    # object.__setattr__ loophole can be scoped precisely
+    enclosing: dict[ast.AST, tuple[ast.ClassDef, str]] = {}
+    for cls_node in ast.walk(ctx.tree):
+        if isinstance(cls_node, ast.ClassDef):
+            for item in cls_node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    enclosing[item] = (cls_node, item.name)
+
+    functions = [
+        n for n in ast.walk(ctx.tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+    # module-level object.__setattr__ (outside any function)
+    in_function: set[ast.AST] = set()
+    for fn in functions:
+        in_function.update(ast.walk(fn))
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and node not in in_function
+            and dotted_name(node.func) == "object.__setattr__"
+        ):
+            yield ctx.finding(
+                node, "R002",
+                "object.__setattr__ outside a frozen dataclass's"
+                " __init__/__post_init__")
+
+    for fn in functions:
+        cls_node, method = enclosing.get(fn, (None, fn.name))
+        in_frozen_init = (
+            cls_node is not None
+            and is_frozen_dataclass(cls_node)
+            and method in ("__init__", "__post_init__")
+        )
+        local_frozen = _frozen_locals(fn, frozen)
+        if cls_node is not None and is_frozen_dataclass(cls_node):
+            local_frozen.setdefault("self", cls_node.name)
+
+        for node in ast.walk(fn):
+            if node is not fn and node in enclosing:
+                continue  # nested methods get their own pass
+            if isinstance(node, ast.Call):
+                if dotted_name(node.func) == "object.__setattr__" and (
+                    not in_frozen_init
+                ):
+                    yield ctx.finding(
+                        node, "R002",
+                        "object.__setattr__ outside a frozen dataclass's"
+                        " __init__/__post_init__")
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for t in targets:
+                if (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id in local_frozen
+                    and not (t.value.id == "self" and in_frozen_init)
+                ):
+                    cls = local_frozen[t.value.id]
+                    yield ctx.finding(
+                        t, "R002",
+                        f"attribute assignment on frozen dataclass"
+                        f" '{cls}' instance '{t.value.id}'")

@@ -1,0 +1,134 @@
+"""R003 — unit discipline: never add or compare mismatched quantities.
+
+The whole evaluation pipeline moves five currencies around — ``cycles``,
+``bytes``, ``macs``, ``joules``, ``words`` — and a single silent
+``cycles + bytes`` would corrupt every figure downstream.  Quantity tags
+are inferred from identifier names (``hbm_cycles`` → cycles,
+``storage_bytes()`` → bytes); expressions that *add*, *subtract*, or
+*order-compare* two differently-tagged operands are flagged.
+
+Inference is deliberately conservative:
+
+* a name tokenises on underscores; exactly one unit token tags it, two
+  or more (``words_per_cycle`` — a conversion rate) tag nothing;
+* multiplying a tagged quantity by an untagged scalar keeps the tag;
+  multiplying two tagged quantities produces a new unit (untagged);
+* dividing keeps the numerator's tag only for a literal divisor —
+  dividing by any named quantity is a unit conversion and clears it;
+* addition/subtraction propagates a tag only alongside literals or a
+  same-tagged operand;
+* a call is tagged by its callee's name (``.cycles(...)`` returns
+  cycles), since that is the naming convention of the hardware models.
+
+Deliberate cross-currency arithmetic (e.g. pricing SRAM traffic from a
+MAC count) is suppressed with ``# repro: noqa R003`` on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, rule
+
+__all__ = ["check_units", "infer_tag", "tag_of_name"]
+
+_TOKEN_TAGS = {
+    "cycle": "cycles", "cycles": "cycles",
+    "byte": "bytes", "bytes": "bytes",
+    "mac": "macs", "macs": "macs",
+    "joule": "joules", "joules": "joules",
+    "word": "words", "words": "words",
+}
+
+
+def tag_of_name(name: str) -> str | None:
+    """The quantity tag an identifier carries, if unambiguous."""
+    tokens = name.lower().strip("_").split("_")
+    tags = {_TOKEN_TAGS[t] for t in tokens if t in _TOKEN_TAGS}
+    return tags.pop() if len(tags) == 1 else None
+
+
+def infer_tag(node: ast.AST) -> str | None:
+    """Conservatively infer the quantity tag of an expression."""
+    if isinstance(node, ast.Name):
+        return tag_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return tag_of_name(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return tag_of_name(func.attr)
+        if isinstance(func, ast.Name):
+            return tag_of_name(func.id)
+        return None
+    if isinstance(node, ast.UnaryOp):
+        return infer_tag(node.operand)
+    if isinstance(node, ast.BinOp):
+        left, right = infer_tag(node.left), infer_tag(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left == right:
+                return left
+            if left is None and isinstance(node.left, ast.Constant):
+                return right
+            if right is None and isinstance(node.right, ast.Constant):
+                return left
+            return None
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is None:
+                return left
+            if right is not None and left is None:
+                return right
+            return None  # tagged x tagged is a new (compound) unit
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if left is not None and isinstance(node.right, ast.Constant):
+                return left
+            return None
+        return None
+    return None
+
+
+def _mismatch(a: str | None, b: str | None) -> bool:
+    return a is not None and b is not None and a != b
+
+
+@rule("R003", "unit-discipline",
+      "flag addition/comparison of mismatched quantity tags")
+def check_units(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left, right = infer_tag(node.left), infer_tag(node.right)
+            if _mismatch(left, right):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                yield ctx.finding(
+                    node, "R003",
+                    f"mixing '{left}' and '{right}' in a '{op}' expression")
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left, right = infer_tag(node.target), infer_tag(node.value)
+            if _mismatch(left, right):
+                op = "+=" if isinstance(node.op, ast.Add) else "-="
+                yield ctx.finding(
+                    node, "R003",
+                    f"mixing '{left}' and '{right}' in a '{op}' statement")
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            interesting = [
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq,
+                                ast.NotEq))
+                for op in node.ops
+            ]
+            for i, keep in enumerate(interesting):
+                if not keep:
+                    continue
+                left, right = (
+                    infer_tag(operands[i]), infer_tag(operands[i + 1])
+                )
+                if _mismatch(left, right):
+                    yield ctx.finding(
+                        node, "R003",
+                        f"comparing '{left}' against '{right}'")

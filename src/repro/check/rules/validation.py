@@ -1,0 +1,95 @@
+"""R005 — validation coverage: hardware-model fields are range-checked.
+
+A ``MACArray`` with zero MACs or an ``HBMModel`` with negative bandwidth
+silently produces infinite or negative cycle counts; the hardware models
+therefore validate their numeric fields in ``__post_init__``.  Inside the
+configured paths (default: everything under ``hardware/`` plus
+``accel/config.py``) every dataclass with numeric (``int``/``float``)
+fields must define ``__post_init__``, and every numeric field must be
+referenced by it — a field never mentioned there cannot possibly be
+range-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, dotted_name, rule
+
+__all__ = ["check_validation_coverage"]
+
+_NUMERIC = {"int", "float"}
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if dotted_name(target) in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _numeric_fields(node: ast.ClassDef) -> dict[str, int]:
+    """Annotated int/float fields → line."""
+    out: dict[str, int] = {}
+    for item in node.body:
+        if not isinstance(item, ast.AnnAssign):
+            continue
+        if not isinstance(item.target, ast.Name):
+            continue
+        ann = item.annotation
+        name = dotted_name(ann) if not isinstance(ann, ast.Constant) else None
+        if name in _NUMERIC:
+            out[item.target.id] = item.lineno
+    return out
+
+
+def _post_init(node: ast.ClassDef) -> ast.FunctionDef | None:
+    for item in node.body:
+        if (
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "__post_init__"
+        ):
+            return item
+    return None
+
+
+def _referenced_names(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+@rule("R005", "validation-coverage",
+      "numeric dataclass fields must be range-checked in __post_init__")
+def check_validation_coverage(ctx: ModuleContext) -> Iterator[Finding]:
+    cfg = ctx.project.config
+    if not cfg.path_covered(ctx.relpath, cfg.validation_paths):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+            continue
+        fields = _numeric_fields(node)
+        if not fields:
+            continue
+        post = _post_init(node)
+        if post is None:
+            yield ctx.finding(
+                node, "R005",
+                f"dataclass '{node.name}' has numeric fields"
+                f" ({', '.join(sorted(fields))}) but no __post_init__"
+                " validation")
+            continue
+        referenced = _referenced_names(post)
+        for name, line in sorted(fields.items()):
+            if name not in referenced:
+                yield ctx.finding(
+                    line, "R005",
+                    f"numeric field '{name}' of dataclass '{node.name}'"
+                    " is not range-checked in __post_init__")

@@ -18,6 +18,9 @@ Commands
     Temporal profile of a dataset (overlap, churn, unaffected ratios).
 ``generate``
     Generate a synthetic dataset and save it as a ``.npz`` archive.
+``check``
+    Run the repo's static-analysis pass (rules R001-R005, see
+    docs/static_analysis.md); exits non-zero on any finding.
 
 All commands are deterministic for fixed arguments.
 """
@@ -69,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     _common(gen)
     gen.add_argument("--scale", type=float, default=1.0)
     gen.add_argument("--out", required=True, help="output .npz path")
+
+    chk = sub.add_parser("check", help="run the static-analysis pass")
+    chk.add_argument("paths", nargs="*", default=["src"],
+                     help="files or directories to scan (default: src)")
+    chk.add_argument("--select", action="append", metavar="CODE",
+                     help="run only these rule codes (repeatable)")
+    chk.add_argument("--root", default=".",
+                     help="repo root for relative paths and config lookup")
+    chk.add_argument("--list-rules", action="store_true",
+                     help="print the registered rules and exit")
 
     return p
 
@@ -246,6 +259,17 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .check.runner import main as check_main
+
+    argv = list(args.paths) + ["--root", args.root]
+    for code in args.select or []:
+        argv += ["--select", code]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return check_main(argv)
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "classify": cmd_classify,
@@ -254,6 +278,7 @@ COMMANDS = {
     "accuracy": cmd_accuracy,
     "generate": cmd_generate,
     "stats": cmd_stats,
+    "check": cmd_check,
 }
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.sanitizer import check_ocsr, sanitizer_enabled
 from .base import AccessCost, MultiSnapshotStorage, WindowSelection
 
 __all__ = ["OCSRStorage"]
@@ -54,6 +55,12 @@ class OCSRStorage(MultiSnapshotStorage):
         self.tindex = e[:, 1].copy()
         self.timestamp = e[:, 2].copy()
         self._build_feature_table()
+        self._sanitize()
+
+    def _sanitize(self) -> None:
+        """Index-invariant check after construction and each mutation."""
+        if sanitizer_enabled():
+            check_ocsr(self)
 
     # ------------------------------------------------------------------
     def _build_feature_table(self) -> None:
@@ -199,6 +206,7 @@ class OCSRStorage(MultiSnapshotStorage):
         self.timestamp = np.insert(self.timestamp, lo + pos, snapshot)
         self.enum[i] += 1
         self.offsets[i + 1 :] += 1
+        self._sanitize()
 
     def delete_edge(self, source: int, target: int, snapshot: int) -> bool:
         """Remove one edge entry; returns whether it existed."""
@@ -220,6 +228,7 @@ class OCSRStorage(MultiSnapshotStorage):
             self.sindex = np.delete(self.sindex, i)
             self.enum = np.delete(self.enum, i)
             self.offsets = np.delete(self.offsets, i + 1)
+        self._sanitize()
         return True
 
     def update_feature(self, vertex: int, snapshot: int, value: np.ndarray) -> None:
@@ -248,3 +257,4 @@ class OCSRStorage(MultiSnapshotStorage):
         self.fv_start = np.insert(self.fv_start, pos, snapshot)
         self.feature_table = np.insert(self.feature_table, pos, value, axis=0)
         self._fv_vertices, self._fv_ptr = np.unique(self.fv_vertex, return_index=True)
+        self._sanitize()

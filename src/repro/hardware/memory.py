@@ -13,6 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..check.sanitizer import (
+    check_buffer,
+    check_hbm_request,
+    sanitizer_enabled,
+)
+
 __all__ = ["HBMModel", "OnChipBuffer", "MemorySubsystem", "WORD_BYTES"]
 
 WORD_BYTES = 4
@@ -55,6 +61,8 @@ class HBMModel:
         latency-bound accesses (latency overlaps bandwidth only up to the
         number of independent banks; we charge them additively, the
         conservative choice all platforms share)."""
+        if sanitizer_enabled():
+            check_hbm_request(words, randoms)
         return words / self.words_per_cycle + randoms * self.random_latency_cycles
 
 
@@ -81,6 +89,8 @@ class OnChipBuffer:
         """Record SRAM accesses (energy accounting)."""
         self.reads += reads
         self.writes += writes
+        if sanitizer_enabled():
+            check_buffer(self)
 
     def load_tile(self, words: int) -> int:
         """Stage a working set of ``words``; returns the words that spill
@@ -89,6 +99,8 @@ class OnChipBuffer:
         spill = max(0, words - cap_words)
         self.spill_words += spill
         self.writes += min(words, cap_words)
+        if sanitizer_enabled():
+            check_buffer(self)
         return spill
 
     def reset_counters(self) -> None:

@@ -1,0 +1,17 @@
+"""R004 fixture: __all__ drift in every direction."""
+
+__all__ = ["listed", "ghost", "listed"]  # ghost undefined; listed twice
+
+CONSTANT = 7  # line 5: public, unlisted
+
+
+def listed():
+    return CONSTANT
+
+
+def unlisted():  # line 12: public, unlisted
+    return 0
+
+
+def _private():  # NOT flagged
+    return 1

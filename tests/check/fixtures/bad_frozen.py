@@ -1,0 +1,37 @@
+"""R002 fixture: mutations of frozen dataclass instances."""
+
+from dataclasses import dataclass
+
+__all__ = ["Frozen", "Mutable", "mutate_param", "mutate_local", "loophole"]
+
+
+@dataclass(frozen=True)
+class Frozen:
+    value: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", abs(self.value))  # sanctioned
+
+    def illegal_method(self):
+        self.value = 1  # line 16: self-assign outside post-init
+
+
+@dataclass
+class Mutable:
+    value: int = 0
+
+
+def mutate_param(task: Frozen):
+    task.value = 3  # line 25: annotated param
+
+
+def mutate_local():
+    t = Frozen(1)
+    t.value += 1  # line 30: constructed local, augmented
+    m = Mutable(1)
+    m.value = 2  # not frozen: NOT flagged
+    return t, m
+
+
+def loophole(x):
+    object.__setattr__(x, "value", 9)  # line 37: outside frozen init

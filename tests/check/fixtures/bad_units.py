@@ -1,0 +1,14 @@
+"""R003 fixture: mismatched-quantity arithmetic and comparisons."""
+
+__all__ = ["mix"]
+
+
+def mix(total_cycles, storage_bytes, gnn_macs, e_joules, load_words):
+    a = total_cycles + storage_bytes  # line 7: cycles + bytes
+    b = gnn_macs - e_joules  # line 8: macs - joules
+    c = total_cycles > load_words  # line 9: cycles vs words compare
+    total_cycles += storage_bytes  # line 10: augmented mix
+    ok = total_cycles + 2 * total_cycles  # same tag: NOT flagged
+    rate = load_words / total_cycles  # division converts: NOT flagged
+    noqa = total_cycles + storage_bytes  # repro: noqa R003
+    return a, b, c, ok, rate, noqa

@@ -1,0 +1,9 @@
+"""A module every rule accepts (fixture for the zero-findings case)."""
+
+__all__ = ["well_behaved", "LIMIT"]
+
+LIMIT = 8
+
+
+def well_behaved(busy_cycles: float, total_cycles: float) -> float:
+    return min(busy_cycles, total_cycles) / LIMIT

@@ -1,0 +1,21 @@
+"""R001 fixture: every forbidden entropy source (never imported)."""
+
+import os
+import random  # line 4: stdlib random import
+import time
+from random import choice  # line 6: from-import
+from time import time as _t  # line 7: wall-clock from-import
+
+import numpy as np
+
+__all__ = ["entropy_soup"]
+
+
+def entropy_soup():
+    a = random.random()  # attribute on forbidden module (import flagged)
+    b = time.time()  # line 16: wall clock
+    c = os.urandom(8)  # line 17: os entropy
+    rng = np.random.default_rng()  # line 18: unseeded generator
+    d = np.random.rand(3)  # line 19: legacy global RNG
+    ok = np.random.default_rng(42)  # seeded: NOT flagged
+    return a, b, c, rng, d, ok, choice, _t

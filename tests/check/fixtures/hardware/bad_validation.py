@@ -1,0 +1,26 @@
+"""R005 fixture: unvalidated numeric dataclass fields."""
+
+from dataclasses import dataclass
+
+__all__ = ["NoPostInit", "PartialPostInit", "NonNumeric"]
+
+
+@dataclass(frozen=True)
+class NoPostInit:  # line 9: numeric fields, no __post_init__ at all
+    bandwidth: float = 1.0
+    ports: int = 2
+
+
+@dataclass
+class PartialPostInit:
+    checked: int = 1
+    unchecked: float = 0.5  # line 17: never referenced below
+
+    def __post_init__(self):
+        if self.checked < 0:
+            raise ValueError("checked must be >= 0")
+
+
+@dataclass
+class NonNumeric:  # no numeric fields: NOT flagged
+    name: str = "x"

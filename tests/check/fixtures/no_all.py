@@ -1,0 +1,5 @@
+"""R004 fixture: a module without any __all__."""
+
+
+def orphan():
+    return None

@@ -1,0 +1,29 @@
+"""The gate itself: the shipped tree must scan clean.
+
+This is the CI contract — ``repro check src/`` exits 0 — so any rule
+regression or fresh violation in ``src/`` fails here first.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check import scan_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_scans_clean():
+    findings = scan_paths([REPO / "src"], root=REPO)
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_module_entry_point_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.check", "src", "--root", "."],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

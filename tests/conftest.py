@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+The runtime sanitizer (repro.check.sanitizer) is enabled for every test,
+so each existing simulator test doubles as a conservation test: any
+cycle-simulator, memory-model, O-CSR, or energy-composition invariant
+violation surfaces as a SanitizerViolation in whichever test triggered
+it.
+"""
+
+import pytest
+
+from repro.check.sanitizer import sanitized
+
+
+@pytest.fixture(autouse=True)
+def _repro_sanitizer():
+    """Run every test under the runtime sanitizer."""
+    with sanitized():
+        yield

@@ -60,3 +60,23 @@ class TestDeterminism:
         _, ref1, *_ = build_everything(seed=3)
         _, ref2, *_ = build_everything(seed=4)
         assert not np.array_equal(ref1.outputs[-1], ref2.outputs[-1])
+
+    def test_cyclesim_identical_under_sanitizer(self, monkeypatch):
+        """Two sanitized runs are bit-identical and violation-free: the
+        conservation checks observe without perturbing the simulation."""
+        from repro.accel import Task
+        from repro.check import sanitized
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        tasks = [
+            Task(vertex=i, gnn_macs=900.0 + 7 * (i % 5), rnn_macs=80.0,
+                 load_words=12.0 + (i % 3))
+            for i in range(300)
+        ]
+        with sanitized() as stats:
+            before = stats.checks
+            a = CycleSimulator().run(tasks)  # raises on any violation
+            b = CycleSimulator().run(tasks)
+            assert stats.checks > before
+        assert a == b
+        assert a.summary() == b.summary()
