@@ -53,6 +53,10 @@ class TaGNNConfig:
             raise ValueError("window_size must be >= 1")
         if self.frequency_mhz <= 0 or self.hbm_bandwidth_gbs <= 0:
             raise ValueError("frequency and bandwidth must be positive")
+        if self.scu_count < 1 or self.scu_lanes < 1:
+            raise ValueError("SCU counts must be >= 1")
+        if not 0.0 < self.mac_efficiency <= 1.0:
+            raise ValueError("mac_efficiency must be in (0, 1]")
 
     # ------------------------------------------------------------------
     @property

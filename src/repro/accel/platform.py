@@ -109,7 +109,9 @@ class PlatformModel:
 
         e_macs = self.energy.dynamic_joules(macs=metrics.total_macs)
         e_sram = self.energy.dynamic_joules(
-            sram_words=2.0 * words + 0.5 * metrics.total_macs
+            # deliberate cross-unit heuristic: SRAM traffic estimated as
+            # 2 words/feature-word moved + 0.5 words/MAC operand reuse
+            sram_words=2.0 * words + 0.5 * metrics.total_macs  # repro: noqa R003
         )
         e_dram = self.energy.dynamic_joules(dram_words=words)
         e_static = self.energy.static_joules(cycles)

@@ -22,6 +22,8 @@ from .platform import PlatformModel
 
 __all__ = [
     "DGL_CPU",
+    "TAGNN_S",
+    "TaGNNSoftware",
     "PIPAD",
     "PYGT",
     "CACHEG",

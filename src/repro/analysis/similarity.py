@@ -30,7 +30,12 @@ import numpy as np
 
 from ..graphs.snapshot import CSRSnapshot
 
-__all__ = ["cosine_rows", "neighbor_stability_weights", "similarity_scores"]
+__all__ = [
+    "COSINE_SHARPNESS",
+    "cosine_rows",
+    "neighbor_stability_weights",
+    "similarity_scores",
+]
 
 
 def cosine_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -25,7 +25,11 @@ from typing import Iterator
 from ..findings import Finding
 from ..registry import ModuleContext, dotted_name, rule
 
-__all__ = ["check_frozen_mutation", "collect_frozen_classes"]
+__all__ = [
+    "check_frozen_mutation",
+    "collect_frozen_classes",
+    "is_frozen_dataclass",
+]
 
 
 def is_frozen_dataclass(node: ast.ClassDef) -> bool:

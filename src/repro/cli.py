@@ -30,7 +30,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "COMMANDS",
+    "build_parser",
+    "cmd_accuracy",
+    "cmd_check",
+    "cmd_classify",
+    "cmd_compare",
+    "cmd_datasets",
+    "cmd_generate",
+    "cmd_simulate",
+    "cmd_stats",
+    "main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:

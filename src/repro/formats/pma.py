@@ -27,7 +27,7 @@ import numpy as np
 
 from .base import AccessCost, MultiSnapshotStorage, WindowSelection
 
-__all__ = ["PackedMemoryArray", "PMAStorage"]
+__all__ = ["EMPTY", "PackedMemoryArray", "PMAStorage"]
 
 _WORD = 4
 EMPTY = np.int64(-1)

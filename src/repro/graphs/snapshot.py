@@ -20,7 +20,14 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["CSRSnapshot", "build_csr", "degrees_from_indptr"]
+__all__ = [
+    "CSRSnapshot",
+    "FEAT_DTYPE",
+    "PTR_DTYPE",
+    "VID_DTYPE",
+    "build_csr",
+    "degrees_from_indptr",
+]
 
 # dtype conventions used across the whole package
 VID_DTYPE = np.int32  # vertex ids

@@ -27,6 +27,13 @@ class EnergyModel:
     static_watts: float
     frequency_mhz: float
 
+    def __post_init__(self) -> None:
+        if (self.mac_pj < 0 or self.sram_word_pj < 0
+                or self.dram_word_pj < 0 or self.static_watts < 0):
+            raise ValueError("per-event energies must be >= 0")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency_mhz must be positive")
+
     def dynamic_joules(
         self, *, macs: float = 0, sram_words: float = 0, dram_words: float = 0
     ) -> float:

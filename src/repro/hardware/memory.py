@@ -43,6 +43,12 @@ class HBMModel:
     frequency_mhz: float = 225.0
     random_latency_ns: float = 45.0
 
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.frequency_mhz <= 0:
+            raise ValueError("bandwidth and frequency must be positive")
+        if self.random_latency_ns < 0:
+            raise ValueError("random_latency_ns must be >= 0")
+
     @property
     def bytes_per_cycle(self) -> float:
         """Streamed bytes deliverable per fabric cycle."""
@@ -77,13 +83,20 @@ class OnChipBuffer:
     writes: int = 0
     spill_words: int = 0
 
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+        if self.reads < 0 or self.writes < 0 or self.spill_words < 0:
+            raise ValueError("access counters must start >= 0")
+
     @property
     def usable_bytes(self) -> int:
         """Ping-pong halves the capacity visible to one phase."""
         return self.capacity_bytes // 2 if self.ping_pong else self.capacity_bytes
 
     def fits(self, words: int) -> bool:
-        return words * WORD_BYTES <= self.usable_bytes
+        need_bytes = words * WORD_BYTES
+        return need_bytes <= self.usable_bytes
 
     def access(self, *, reads: int = 0, writes: int = 0) -> None:
         """Record SRAM accesses (energy accounting)."""

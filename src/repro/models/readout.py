@@ -26,7 +26,14 @@ import numpy as np
 from ..graphs.dynamic import DynamicGraph
 from .layers import GCNStack
 
-__all__ = ["RidgeReadout", "make_teacher_labels", "evaluate_accuracy", "split_vertices"]
+__all__ = [
+    "RidgeReadout",
+    "evaluate_accuracy",
+    "fit_readout",
+    "make_teacher_labels",
+    "split_vertices",
+    "test_vertex_accuracy",
+]
 
 
 @dataclass
