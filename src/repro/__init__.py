@@ -21,6 +21,9 @@ Subpackages
     Memory, pipeline, compute-unit, and energy models.
 ``repro.accel``
     The TaGNN accelerator simulator and every comparison platform.
+``repro.resilience``
+    Fault injection, guarded ingestion, checkpoint/replay, and graceful
+    degradation for the streaming serving path.
 ``repro.bench``
     The memoised experiment harness driving the per-figure benchmarks.
 
@@ -48,5 +51,6 @@ __all__ = [
     "engine",
     "hardware",
     "accel",
+    "resilience",
     "bench",
 ]

@@ -30,6 +30,7 @@ from ..engine.concurrent import ConcurrentEngine
 from ..engine.reference import EngineResult
 from ..graphs.dynamic import DynamicGraph
 from ..hardware.energy import FPGA_U280
+from ..hardware.memory import HBMModel
 from ..hardware.pipeline import Pipeline, PipelineStage
 from ..hardware.units import AdderTree, MACArray, SimilarityCore
 from ..models.base import DGNNModel
@@ -68,14 +69,19 @@ class TaGNNSimulator:
         *,
         engine_result: EngineResult | None = None,
         workload: WorkloadStats | None = None,
+        hbm: HBMModel | None = None,
     ) -> SimulationReport:
+        # ``hbm`` overrides the config's memory model; the resilience
+        # fault injector passes a wrapper that raises transient storage
+        # errors on selected requests.
         cfg = self.config
         if engine_result is None:
             engine_result = self.run_engine(model, graph)
         if workload is None:
             workload = WorkloadStats.analyze(graph, model, cfg.window_size)
         metrics = engine_result.metrics
-        hbm = cfg.hbm()
+        if hbm is None:
+            hbm = cfg.hbm()
 
         # --- off-chip traffic -------------------------------------------
         words, randoms, gspm_windows = self._offchip_traffic(

@@ -73,6 +73,24 @@ class SanitizerViolation(RuntimeError):
             msg += f" in {where}"
         super().__init__(msg)
 
+    @property
+    def component(self) -> str:
+        """Subsystem that raised (leading segment of ``where``)."""
+        return self.where.split(".")[0] if self.where else ""
+
+    def as_dict(self) -> dict:
+        """Structured incident context (what/where/how far out of bounds)
+        — the resilience supervisor logs this instead of the bare
+        message string."""
+        return {
+            "invariant": self.invariant,
+            "quantity": self.quantity,
+            "value": self.value,
+            "bound": self.bound,
+            "where": self.where,
+            "component": self.component,
+        }
+
 
 @dataclass
 class SanitizerStats:

@@ -21,6 +21,9 @@ Commands
 ``check``
     Run the repo's static-analysis pass (rules R001-R005, see
     docs/static_analysis.md); exits non-zero on any finding.
+``chaos``
+    Run a seeded fault-injection campaign through the resilient serving
+    path and print the incident report (see docs/resilience.md).
 
 All commands are deterministic for fixed arguments.
 """
@@ -34,6 +37,7 @@ __all__ = [
     "COMMANDS",
     "build_parser",
     "cmd_accuracy",
+    "cmd_chaos",
     "cmd_check",
     "cmd_classify",
     "cmd_compare",
@@ -84,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
     _common(gen)
     gen.add_argument("--scale", type=float, default=1.0)
     gen.add_argument("--out", required=True, help="output .npz path")
+
+    ch = sub.add_parser("chaos", help="seeded fault-injection campaign")
+    _common(ch)
+    ch.add_argument("--model", default="T-GCN")
+    ch.add_argument("--window", type=int, default=4)
+    ch.add_argument("--faults-per-kind", type=int, default=1)
+    ch.add_argument("--fault-seed", type=int, default=7)
 
     chk = sub.add_parser("check", help="run the static-analysis pass")
     chk.add_argument("paths", nargs="*", default=["src"],
@@ -271,6 +282,24 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .resilience import FaultPlan, run_chaos_campaign
+
+    g, m = _make(args)
+    plan = FaultPlan.generate(
+        seed=args.fault_seed,
+        num_steps=g.num_snapshots,
+        per_kind=args.faults_per_kind,
+    )
+    report = run_chaos_campaign(m, g, plan, window_size=args.window)
+    print(f"{args.model} on {args.dataset}: {len(plan)} faults injected"
+          f" across {g.num_snapshots} steps (fault seed {args.fault_seed})")
+    print(report.summary())
+    complete = len(report.outputs) == g.num_snapshots
+    print(f"  stream complete     : {complete}")
+    return 0 if complete else 1
+
+
 def cmd_check(args) -> int:
     from .check.runner import main as check_main
 
@@ -291,6 +320,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
     "check": cmd_check,
+    "chaos": cmd_chaos,
 }
 
 

@@ -54,6 +54,14 @@ class ExecutionMetrics:
     snapshots_processed: int = 0
     windows_processed: int = 0
 
+    # --- resilience (repro.resilience) ---------------------------------
+    incidents: int = 0  # anomalies the supervisor absorbed
+    retries: int = 0  # transient-storage retry attempts
+    fallback_windows: int = 0  # windows degraded to the reference engine
+    dead_letter_events: int = 0  # poison events/snapshots dead-lettered
+    checkpoints_taken: int = 0  # carry-state checkpoints captured
+    restores: int = 0  # carry-state rollbacks after a fault
+
     # ------------------------------------------------------------------
     @property
     def total_words(self) -> int:

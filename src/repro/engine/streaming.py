@@ -70,6 +70,7 @@ class StreamingInference:
         self._timestamp = 0
         self._window_index = 0
         self._metrics = ExecutionMetrics()
+        self._num_vertices: int | None = None  # pinned by the first push
         # carried engine state (mirrors ConcurrentEngine.run locals)
         self._state = None
         self._cache = None
@@ -90,11 +91,26 @@ class StreamingInference:
         return self._metrics
 
     def push(self, snapshot: CSRSnapshot) -> StreamResult | None:
-        """Append one snapshot; returns results when a window completes."""
-        if self._h_prev is not None and (
-            snapshot.num_vertices != len(self._h_prev)
-        ):
-            raise ValueError("snapshot vertex count changed mid-stream")
+        """Append one snapshot; returns results when a window completes.
+
+        Shape mismatches fail *here* with a clear message rather than as
+        a numpy broadcast error deep inside the window processing: the
+        feature dimension must match the model's input width and the
+        vertex count must equal the first pushed snapshot's.
+        """
+        if snapshot.dim != self.model.in_dim:
+            raise ValueError(
+                f"snapshot feature dimension {snapshot.dim} does not match"
+                f" model input dimension {self.model.in_dim}"
+            )
+        if self._num_vertices is None:
+            self._num_vertices = snapshot.num_vertices
+        elif snapshot.num_vertices != self._num_vertices:
+            raise ValueError(
+                f"snapshot vertex count changed mid-stream: got"
+                f" {snapshot.num_vertices}, stream carries"
+                f" {self._num_vertices}"
+            )
         self._pending.append(snapshot)
         if len(self._pending) < self.window_size:
             return None
@@ -169,4 +185,140 @@ class StreamingInference:
             timestamps=list(range(first_ts, self._timestamp)),
             outputs=outputs,
             metrics=m,
+        )
+
+    # ------------------------------------------------------------------
+    # carry-state checkpointing (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def carry_state(self) -> dict:
+        """Deep copy of every value carried across windows.
+
+        The returned mapping is fully detached from the live stream
+        (all arrays copied), so :meth:`restore_carry` rolls back to
+        exactly this point no matter what ran in between.  The keys are
+        the contract :mod:`repro.resilience.checkpoint` serialises.
+        """
+        cache = None
+        if self._cache is not None:
+            cache = {
+                "zx": self._cache.zx.copy(),
+                "zh": self._cache.zh.copy(),
+                "z_input": self._cache.z_input.copy(),
+            }
+        return {
+            "window_size": self.window_size,
+            "pending": [s.copy() for s in self._pending],
+            "timestamp": self._timestamp,
+            "window_index": self._window_index,
+            "metrics": ExecutionMetrics(**self._metrics.as_dict()),
+            "state": None if self._state is None else self._state.copy(),
+            "cache": cache,
+            "h_prev": None if self._h_prev is None else self._h_prev.copy(),
+            "z_prev": None if self._z_prev is None else self._z_prev.copy(),
+            "snap_prev": (
+                None if self._snap_prev is None else self._snap_prev.copy()
+            ),
+            "first": self._first,
+            "num_vertices": self._num_vertices,
+        }
+
+    def restore_carry(self, carry: dict) -> None:
+        """Install a carry mapping produced by :meth:`carry_state`.
+
+        The stream resumes bit-identically from the captured boundary.
+        The carry is copied in, so one checkpoint can be restored any
+        number of times.  The model/config must match the one the carry
+        was captured from.
+        """
+        from ..models.rnn import IdentityCell
+        from ..skipping.delta import DeltaCellCache
+
+        if carry["window_size"] != self.window_size:
+            raise ValueError(
+                f"checkpoint window_size {carry['window_size']} does not"
+                f" match stream window_size {self.window_size}"
+            )
+        h_prev = carry["h_prev"]
+        if h_prev is not None and h_prev.shape[1] != self.model.out_dim:
+            raise ValueError(
+                f"checkpoint output width {h_prev.shape[1]} does not"
+                f" match model out_dim {self.model.out_dim}"
+            )
+        self._pending = [s.copy() for s in carry["pending"]]
+        self._timestamp = carry["timestamp"]
+        self._window_index = carry["window_index"]
+        self._metrics = ExecutionMetrics(**carry["metrics"].as_dict())
+        state = carry["state"]
+        self._state = None if state is None else state.copy()
+        cache = carry["cache"]
+        if cache is None:
+            self._cache = None
+        else:
+            if isinstance(self.model.cell, IdentityCell):
+                raise ValueError(
+                    "checkpoint carries a delta cache but the model has"
+                    " an identity cell"
+                )
+            rebuilt = DeltaCellCache(self.model.cell, cache["zx"].shape[0])
+            rebuilt.zx[...] = cache["zx"]
+            rebuilt.zh[...] = cache["zh"]
+            rebuilt.z_input[...] = cache["z_input"]
+            self._cache = rebuilt
+        self._h_prev = None if h_prev is None else h_prev.copy()
+        z_prev = carry["z_prev"]
+        self._z_prev = None if z_prev is None else z_prev.copy()
+        snap_prev = carry["snap_prev"]
+        self._snap_prev = None if snap_prev is None else snap_prev.copy()
+        self._first = carry["first"]
+        self._num_vertices = carry["num_vertices"]
+
+    # ------------------------------------------------------------------
+    # graceful degradation (repro.resilience.supervisor)
+    # ------------------------------------------------------------------
+    def adopt_window(
+        self,
+        snapshots: list[CSRSnapshot],
+        outputs: list[np.ndarray],
+        state,
+        z_last: np.ndarray,
+        metrics: ExecutionMetrics,
+    ) -> StreamResult:
+        """Install externally-computed results for the pending window.
+
+        The resilience supervisor calls this after re-executing a failed
+        window on the exact reference path: the stream adopts the given
+        outputs/state as if it had processed the window itself, clears
+        the pending buffer, and refreshes the delta cache so later
+        windows' DELTA-mode updates read consistent pre-activations.
+        """
+        from ..models.rnn import IdentityCell
+        from ..skipping.delta import DeltaCellCache
+
+        if not snapshots or len(snapshots) != len(outputs):
+            raise ValueError("adopt_window needs one output per snapshot")
+        first_ts = self._timestamp
+        last = snapshots[-1]
+        self._pending = []
+        self._timestamp += len(snapshots)
+        self._window_index += 1
+        self._state = state
+        self._h_prev = outputs[-1].copy()
+        self._z_prev = z_last
+        self._snap_prev = last
+        self._first = False
+        self._num_vertices = last.num_vertices
+        if self._cache is None and not isinstance(
+            self.model.cell, IdentityCell
+        ):
+            self._cache = DeltaCellCache(self.model.cell, last.num_vertices)
+        if self._cache is not None:
+            rows = np.flatnonzero(last.present)
+            self._cache.refresh(
+                rows, z_last, self.model.recurrent_drive(state, last)
+            )
+        self._metrics = self._metrics.merge(metrics)
+        return StreamResult(
+            timestamps=list(range(first_ts, self._timestamp)),
+            outputs=outputs,
+            metrics=metrics,
         )

@@ -35,6 +35,7 @@ from .updates import (
     apply_events,
     delta_to_events,
     event_stream,
+    event_violation,
 )
 
 __all__ = [
@@ -67,4 +68,5 @@ __all__ = [
     "apply_events",
     "delta_to_events",
     "event_stream",
+    "event_violation",
 ]

@@ -211,6 +211,16 @@ class CSRSnapshot:
             present = np.ones(num_vertices, dtype=bool)
         return cls(indptr, indices, features, present, timestamp)
 
+    def copy(self) -> "CSRSnapshot":
+        """Deep copy (fresh arrays) — checkpoint/restore builds on this."""
+        return CSRSnapshot(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            features=self.features.copy(),
+            present=self.present.copy(),
+            timestamp=self.timestamp,
+        )
+
     # ------------------------------------------------------------------
     # GNN support
     # ------------------------------------------------------------------

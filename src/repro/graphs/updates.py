@@ -20,7 +20,14 @@ import numpy as np
 from .dynamic import SnapshotDelta, snapshot_delta
 from .snapshot import CSRSnapshot, build_csr
 
-__all__ = ["UpdateKind", "UpdateEvent", "delta_to_events", "apply_events", "event_stream"]
+__all__ = [
+    "UpdateKind",
+    "UpdateEvent",
+    "delta_to_events",
+    "apply_events",
+    "event_stream",
+    "event_violation",
+]
 
 
 class UpdateKind(enum.Enum):
@@ -74,12 +81,86 @@ def delta_to_events(
     return events
 
 
+def event_violation(
+    ev,
+    *,
+    num_vertices: int,
+    dim: int,
+    present: np.ndarray | None = None,
+    edge_keys: set[int] | None = None,
+) -> str | None:
+    """Explain why ``ev`` cannot be applied, or ``None`` when it can.
+
+    ``present``/``edge_keys`` carry the replay state at the point the
+    event would apply (vertex presence mask and the set of live
+    ``src * num_vertices + dst`` edge keys); passing ``None`` skips the
+    state-dependent checks and validates only kind/shape/range.  This is
+    the single validation authority shared by the strict
+    :func:`apply_events` replay and the resilience ingest guard.
+    """
+    n = num_vertices
+    if not isinstance(ev, UpdateEvent):
+        return f"not an UpdateEvent: {type(ev).__name__}"
+    if not isinstance(ev.kind, UpdateKind):
+        return f"unknown event kind {ev.kind!r}"
+    if not isinstance(ev.vertex, (int, np.integer)):
+        return f"vertex id {ev.vertex!r} is not an integer"
+    v = int(ev.vertex)
+    if not 0 <= v < n:
+        return f"vertex id {v} out of range [0, {n})"
+    if ev.kind is UpdateKind.VERTEX_DEPART:
+        if present is not None and not present[v]:
+            return f"departure of absent vertex {v}"
+    elif ev.kind is UpdateKind.VERTEX_ARRIVE:
+        if present is not None and present[v]:
+            return f"arrival of already-present vertex {v}"
+    elif ev.kind in (UpdateKind.EDGE_INSERT, UpdateKind.EDGE_DELETE):
+        payload = ev.payload
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 2
+            or not all(isinstance(x, (int, np.integer)) for x in payload)
+        ):
+            return f"edge payload {payload!r} is not a (src, dst) pair"
+        s, d = int(payload[0]), int(payload[1])
+        if not (0 <= s < n and 0 <= d < n):
+            return f"edge endpoint out of range [0, {n}): ({s}, {d})"
+        key = s * n + d
+        if ev.kind is UpdateKind.EDGE_DELETE:
+            if edge_keys is not None and key not in edge_keys:
+                return f"deletion of absent edge ({s}, {d})"
+        else:
+            if edge_keys is not None and key in edge_keys:
+                return f"duplicate insertion of edge ({s}, {d})"
+            if present is not None and not (present[s] and present[d]):
+                return f"insertion of edge ({s}, {d}) with absent endpoint"
+    else:  # FEATURE_UPDATE
+        x = ev.payload
+        if not isinstance(x, np.ndarray) or x.shape != (dim,):
+            return (
+                f"feature payload {x!r} does not have shape ({dim},)"
+            )
+        if not bool(np.isfinite(x).all()):
+            return f"non-finite feature payload for vertex {v}"
+        if present is not None and not present[v]:
+            return f"feature update for absent vertex {v}"
+    return None
+
+
 def apply_events(snap: CSRSnapshot, events: list[UpdateEvent]) -> CSRSnapshot:
     """Replay events onto a snapshot, returning the successor snapshot.
 
     The CSR is rebuilt once at the end (one O(m log m) pass) rather than
     mutated per event — the vectorised idiom the HPC guide recommends over
     incremental Python-level mutation.
+
+    Replay is *strict*: an event that cannot apply to the evolving state
+    (duplicate edge insert, delete of an absent edge, out-of-range vertex
+    id, unknown kind, malformed payload, …) raises :class:`ValueError`
+    rather than silently corrupting the successor snapshot.  Callers that
+    want to survive hostile streams should route events through
+    :mod:`repro.resilience.ingest`, which dead-letters poison events
+    instead of raising.
     """
     n = snap.num_vertices
     present = snap.present.copy()
@@ -90,6 +171,15 @@ def apply_events(snap: CSRSnapshot, events: list[UpdateEvent]) -> CSRSnapshot:
         keys.add(int(k))
 
     for ev in events:
+        reason = event_violation(
+            ev,
+            num_vertices=n,
+            dim=features.shape[1],
+            present=present,
+            edge_keys=keys,
+        )
+        if reason is not None:
+            raise ValueError(f"invalid update event: {reason}")
         if ev.kind is UpdateKind.VERTEX_DEPART:
             present[ev.vertex] = False
         elif ev.kind is UpdateKind.VERTEX_ARRIVE:

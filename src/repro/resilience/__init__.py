@@ -1,0 +1,68 @@
+"""Resilience for the streaming serving path: faults, guarded ingest,
+checkpoint/replay, supervision (see docs/resilience.md)."""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    arrays_to_carry,
+    carry_to_arrays,
+    load_checkpoint,
+    restore_stream,
+    save_checkpoint,
+)
+from .faults import (
+    ENGINE_FAULTS,
+    EVENT_FAULTS,
+    SNAPSHOT_FAULTS,
+    STORAGE_FAULTS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FlakyHBM,
+    TransientStorageError,
+)
+from .ingest import (
+    DeadLetter,
+    DeadLetterQueue,
+    GuardedIngest,
+    RetryExhaustedError,
+    RetryPolicy,
+    snapshot_violation,
+    with_retry,
+)
+from .supervisor import (
+    ChaosReport,
+    CircuitOpenError,
+    Incident,
+    ResilientStreamingInference,
+    run_chaos_campaign,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ChaosReport",
+    "CircuitOpenError",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "ENGINE_FAULTS",
+    "EVENT_FAULTS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FlakyHBM",
+    "GuardedIngest",
+    "Incident",
+    "ResilientStreamingInference",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "SNAPSHOT_FAULTS",
+    "STORAGE_FAULTS",
+    "TransientStorageError",
+    "arrays_to_carry",
+    "carry_to_arrays",
+    "load_checkpoint",
+    "restore_stream",
+    "run_chaos_campaign",
+    "save_checkpoint",
+    "snapshot_violation",
+    "with_retry",
+]

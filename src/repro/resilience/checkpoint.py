@@ -1,0 +1,212 @@
+"""Checkpoint/replay for the streaming engine's carry state.
+
+:class:`~repro.engine.streaming.StreamingInference` carries five things
+across window boundaries: the pending (not yet processed) snapshots, the
+per-vertex recurrent state, the previous window's last GNN output and
+snapshot (the delta baseline), the similarity cache pre-activations, and
+the window index that drives weight evolution.  A crash loses all of it —
+re-pushing the remaining feed from scratch would produce *different*
+outputs, because the recurrent state is path-dependent.
+
+This module serialises that carry bundle so a stream can resume
+**bit-identically** from any event boundary.  Design points:
+
+* **No pickle.**  Everything is flattened into a ``str -> ndarray``
+  mapping written with :func:`numpy.savez_compressed`; strings travel as
+  0-d unicode arrays.  Loading a checkpoint never executes code.
+* **Self-describing.**  ``meta/format`` versions the layout;
+  ``meta/state_kind`` records the recurrent-state class (``lstm`` /
+  ``gru`` / ``none``); optional sections (cache, previous window,
+  pending snapshots) are present only when the stream carried them.
+* **Weight evolution needs only the window index.**  Evolving models
+  (EvolveGCN-style) derive window ``i`` weights from their initial
+  weights idempotently via ``advance_window(i)``, so restoring
+  ``meta/window_index`` restores the weight trajectory; no weight
+  tensors are stored.
+
+The key layout (format 1)::
+
+    meta/{format,window_size,timestamp,window_index,first,
+          num_vertices,num_pending,state_kind}
+    metrics/<field>            one int64 per ExecutionMetrics field
+    state/h [, state/c]        recurrent state (by meta/state_kind)
+    cache/{zx,zh,z_input}      similarity-cache pre-activations (optional)
+    carry/{h_prev,z_prev}      last outputs / GNN result (optional)
+    snap_prev/<field>          delta-baseline snapshot (optional)
+    pending/<i>/<field>        buffered snapshots, i < meta/num_pending
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.metrics import ExecutionMetrics
+from ..engine.streaming import StreamingInference
+from ..graphs.snapshot import CSRSnapshot
+from ..models.rnn import GRUState, LSTMState
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "arrays_to_carry",
+    "carry_to_arrays",
+    "load_checkpoint",
+    "restore_stream",
+    "save_checkpoint",
+]
+
+CHECKPOINT_FORMAT = 1
+
+_SNAP_FIELDS = ("indptr", "indices", "features", "present")
+
+
+def _snapshot_arrays(prefix: str, snap: CSRSnapshot) -> dict:
+    out = {f"{prefix}/{name}": getattr(snap, name) for name in _SNAP_FIELDS}
+    out[f"{prefix}/timestamp"] = np.int64(snap.timestamp)
+    return out
+
+
+def _snapshot_from(data, prefix: str) -> CSRSnapshot:
+    return CSRSnapshot(
+        indptr=np.asarray(data[f"{prefix}/indptr"]),
+        indices=np.asarray(data[f"{prefix}/indices"]),
+        features=np.asarray(data[f"{prefix}/features"]),
+        present=np.asarray(data[f"{prefix}/present"]),
+        timestamp=int(data[f"{prefix}/timestamp"]),
+    )
+
+
+# ----------------------------------------------------------------------
+def carry_to_arrays(carry: dict) -> dict:
+    """Flatten a ``StreamingInference.carry_state()`` mapping into the
+    ``str -> ndarray`` checkpoint layout documented above."""
+    num_vertices = carry["num_vertices"]
+    arrays: dict = {
+        "meta/format": np.int64(CHECKPOINT_FORMAT),
+        "meta/window_size": np.int64(carry["window_size"]),
+        "meta/timestamp": np.int64(carry["timestamp"]),
+        "meta/window_index": np.int64(carry["window_index"]),
+        "meta/first": np.bool_(carry["first"]),
+        "meta/num_vertices": np.int64(
+            -1 if num_vertices is None else num_vertices
+        ),
+        "meta/num_pending": np.int64(len(carry["pending"])),
+    }
+    for name, value in carry["metrics"].as_dict().items():
+        arrays[f"metrics/{name}"] = np.int64(value)
+    state = carry["state"]
+    if state is None:
+        arrays["meta/state_kind"] = np.str_("none")
+    elif isinstance(state, LSTMState):
+        arrays["meta/state_kind"] = np.str_("lstm")
+        arrays["state/h"] = state.h
+        arrays["state/c"] = state.c
+    elif isinstance(state, GRUState):
+        arrays["meta/state_kind"] = np.str_("gru")
+        arrays["state/h"] = state.h
+    else:
+        raise ValueError(
+            f"cannot checkpoint recurrent state of type {type(state).__name__}"
+        )
+    if carry["cache"] is not None:
+        for name in ("zx", "zh", "z_input"):
+            arrays[f"cache/{name}"] = carry["cache"][name]
+    for name in ("h_prev", "z_prev"):
+        if carry[name] is not None:
+            arrays[f"carry/{name}"] = carry[name]
+    if carry["snap_prev"] is not None:
+        arrays.update(_snapshot_arrays("snap_prev", carry["snap_prev"]))
+    for i, snap in enumerate(carry["pending"]):
+        arrays.update(_snapshot_arrays(f"pending/{i}", snap))
+    return arrays
+
+
+def arrays_to_carry(data) -> dict:
+    """Rebuild a carry mapping from the flat checkpoint layout.
+
+    ``data`` is anything indexable by key with a ``files``/key listing —
+    an :class:`numpy.lib.npyio.NpzFile` or a plain dict.  Snapshots are
+    reconstructed through ``CSRSnapshot.__init__`` so a tampered
+    checkpoint fails validation instead of entering the stream.
+    """
+    keys = set(data.files) if hasattr(data, "files") else set(data)
+    fmt = int(data["meta/format"])
+    if fmt != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"unsupported checkpoint format {fmt}"
+            f" (this build reads format {CHECKPOINT_FORMAT})"
+        )
+    metrics = ExecutionMetrics(
+        **{
+            name: int(data[f"metrics/{name}"])
+            for name in ExecutionMetrics().as_dict()
+            if f"metrics/{name}" in keys
+        }
+    )
+    state_kind = np.asarray(data["meta/state_kind"]).item()
+    if state_kind == "none":
+        state = None
+    elif state_kind == "lstm":
+        state = LSTMState(
+            np.asarray(data["state/h"]), np.asarray(data["state/c"])
+        )
+    elif state_kind == "gru":
+        state = GRUState(np.asarray(data["state/h"]))
+    else:
+        raise ValueError(f"unknown checkpoint state kind {state_kind!r}")
+    cache = None
+    if "cache/zx" in keys:
+        cache = {
+            name: np.asarray(data[f"cache/{name}"])
+            for name in ("zx", "zh", "z_input")
+        }
+    raw_n = int(data["meta/num_vertices"])
+    return {
+        "window_size": int(data["meta/window_size"]),
+        "pending": [
+            _snapshot_from(data, f"pending/{i}")
+            for i in range(int(data["meta/num_pending"]))
+        ],
+        "timestamp": int(data["meta/timestamp"]),
+        "window_index": int(data["meta/window_index"]),
+        "metrics": metrics,
+        "state": state,
+        "cache": cache,
+        "h_prev": (
+            np.asarray(data["carry/h_prev"]) if "carry/h_prev" in keys else None
+        ),
+        "z_prev": (
+            np.asarray(data["carry/z_prev"]) if "carry/z_prev" in keys else None
+        ),
+        "snap_prev": (
+            _snapshot_from(data, "snap_prev")
+            if "snap_prev/indptr" in keys
+            else None
+        ),
+        "first": bool(data["meta/first"]),
+        "num_vertices": None if raw_n < 0 else raw_n,
+    }
+
+
+# ----------------------------------------------------------------------
+def save_checkpoint(stream: StreamingInference, path) -> None:
+    """Capture ``stream``'s carry state into a ``.npz`` checkpoint at
+    ``path`` (a filesystem path or writable binary file object)."""
+    np.savez_compressed(path, **carry_to_arrays(stream.carry_state()))
+
+
+def load_checkpoint(path) -> dict:
+    """Read a checkpoint back into a carry mapping ready for
+    :meth:`StreamingInference.restore_carry`."""
+    with np.load(path, allow_pickle=False) as data:
+        return arrays_to_carry(data)
+
+
+def restore_stream(stream: StreamingInference, path) -> StreamingInference:
+    """Install the checkpoint at ``path`` into ``stream`` and return it.
+
+    The stream's model/config must match the checkpointed run; the
+    restored stream then reproduces the uninterrupted run bit-identically
+    from the captured boundary.
+    """
+    stream.restore_carry(load_checkpoint(path))
+    return stream

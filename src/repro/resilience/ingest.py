@@ -1,0 +1,269 @@
+"""Guarded ingestion: validation, dead-lettering, deterministic retry.
+
+This is the first line of defence between a hostile update feed and the
+streaming engine.  Three mechanisms, composable and individually
+testable:
+
+* :func:`snapshot_violation` / :func:`repro.graphs.updates.event_violation`
+  decide *whether* an artefact may enter the system;
+* :class:`GuardedIngest` filters an event batch against the evolving
+  replay state, applying the valid prefix semantics of
+  :func:`~repro.graphs.updates.apply_events` while diverting poison
+  events to a :class:`DeadLetterQueue` instead of raising;
+* :func:`with_retry` wraps transiently-failing callables (storage
+  requests) in bounded retry with deterministic exponential backoff plus
+  seeded jitter.  Delays are **virtual** — recorded, never slept — so the
+  schedule documents what a deployment would do while tests stay instant
+  and rule R001 (no wall-clock) stays green.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.metrics import ExecutionMetrics
+from ..graphs.snapshot import CSRSnapshot
+from ..graphs.updates import UpdateKind, apply_events, event_violation
+from .faults import TransientStorageError
+
+__all__ = [
+    "DeadLetter",
+    "DeadLetterQueue",
+    "GuardedIngest",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "snapshot_violation",
+    "with_retry",
+]
+
+
+class RetryExhaustedError(RuntimeError):
+    """A transient fault persisted past the retry budget."""
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined artefact: when it arrived and why it was refused."""
+
+    step: int
+    reason: str
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError(f"dead-letter step must be >= 0, got {self.step}")
+
+
+class DeadLetterQueue:
+    """Ordered quarantine for poison events and snapshots.
+
+    Nothing is ever dropped silently: every artefact validation refuses
+    lands here with its rejection reason, so an operator can replay or
+    audit the stream after the fact.
+    """
+
+    def __init__(self) -> None:
+        self.letters: list[DeadLetter] = []
+
+    def record(self, step: int, reason: str, payload=None) -> DeadLetter:
+        letter = DeadLetter(step=step, reason=reason, payload=payload)
+        self.letters.append(letter)
+        return letter
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def by_reason(self) -> dict[str, int]:
+        """Tally of quarantined artefacts by rejection reason."""
+        out: dict[str, int] = {}
+        for letter in self.letters:
+            out[letter.reason] = out.get(letter.reason, 0) + 1
+        return out
+
+
+# ----------------------------------------------------------------------
+# snapshot validation
+# ----------------------------------------------------------------------
+def snapshot_violation(
+    snap,
+    *,
+    num_vertices: int | None = None,
+    dim: int | None = None,
+) -> str | None:
+    """Explain why ``snap`` must not enter the stream, or ``None``.
+
+    Catches artefacts that bypassed :class:`CSRSnapshot.__post_init__`
+    (torn writes deserialised straight into object fields), non-finite
+    feature values, and — when ``num_vertices``/``dim`` are given —
+    shape drift against the stream's pinned geometry.
+    """
+    if not isinstance(snap, CSRSnapshot):
+        return f"not a CSRSnapshot: {type(snap).__name__}"
+    indptr, indices = snap.indptr, snap.indices
+    if indptr.ndim != 1 or indptr.size < 1:
+        return "indptr is not a 1-d row-pointer array"
+    n = indptr.size - 1
+    if int(indptr[0]) != 0 or int(indptr[-1]) != indices.size:
+        return (
+            f"truncated CSR: indptr spans [{int(indptr[0])},"
+            f" {int(indptr[-1])}] but indices holds {indices.size} entries"
+        )
+    if bool(np.any(np.diff(indptr) < 0)):
+        return "indptr is not non-decreasing"
+    if indices.size and (int(indices.min()) < 0 or int(indices.max()) >= n):
+        return f"neighbour id out of range [0, {n})"
+    if snap.present.shape != (n,):
+        return f"present mask shape {snap.present.shape} != ({n},)"
+    if snap.features.ndim != 2 or snap.features.shape[0] != n:
+        return (
+            f"features shape {snap.features.shape} does not cover"
+            f" {n} vertices"
+        )
+    if not bool(np.isfinite(snap.features).all()):
+        return "non-finite feature values"
+    if num_vertices is not None and n != num_vertices:
+        return f"vertex count {n} != expected {num_vertices}"
+    if dim is not None and snap.features.shape[1] != dim:
+        return (
+            f"feature dimension {snap.features.shape[1]} != expected {dim}"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# guarded event application
+# ----------------------------------------------------------------------
+class GuardedIngest:
+    """Filter hostile event batches in front of ``apply_events``.
+
+    Validation replays the same evolving state (presence mask + live
+    edge-key set) that strict :func:`apply_events` checks against, so an
+    event is quarantined if and only if the strict replay would raise on
+    it; the surviving events are guaranteed to apply cleanly.
+    """
+
+    def __init__(self, *, dlq: DeadLetterQueue | None = None):
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
+        self.metrics = ExecutionMetrics()
+
+    def filter_events(
+        self, snap: CSRSnapshot, events, *, step: int = 0
+    ) -> tuple[list, list]:
+        """Split ``events`` into (clean, quarantined) against ``snap``."""
+        n = snap.num_vertices
+        present = snap.present.copy()
+        keys: set[int] = set()
+        src = np.repeat(np.arange(n, dtype=np.int64), snap.degrees)
+        for k in (src * n + snap.indices.astype(np.int64)).tolist():
+            keys.add(int(k))
+        clean: list = []
+        rejected: list = []
+        for ev in events:
+            reason = event_violation(
+                ev,
+                num_vertices=n,
+                dim=snap.dim,
+                present=present,
+                edge_keys=keys,
+            )
+            if reason is not None:
+                self.dlq.record(step, reason, payload=ev)
+                self.metrics.dead_letter_events += 1
+                self.metrics.incidents += 1
+                rejected.append(ev)
+                continue
+            clean.append(ev)
+            if ev.kind is UpdateKind.VERTEX_DEPART:
+                present[ev.vertex] = False
+            elif ev.kind is UpdateKind.VERTEX_ARRIVE:
+                present[ev.vertex] = True
+            elif ev.kind is UpdateKind.EDGE_DELETE:
+                s, d = ev.payload  # type: ignore[misc]
+                keys.discard(int(s) * n + int(d))
+            elif ev.kind is UpdateKind.EDGE_INSERT:
+                s, d = ev.payload  # type: ignore[misc]
+                keys.add(int(s) * n + int(d))
+        return clean, rejected
+
+    def apply(
+        self, snap: CSRSnapshot, events, *, step: int = 0
+    ) -> CSRSnapshot:
+        """Quarantine poison events, then apply the clean remainder."""
+        clean, _ = self.filter_events(snap, events, step=step)
+        return apply_events(snap, clean)
+
+
+# ----------------------------------------------------------------------
+# bounded deterministic retry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter; all delays virtual."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.001
+    factor: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0.0:
+            raise ValueError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) — deterministic for
+        a fixed (seed, attempt)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        u = float(np.random.default_rng([self.seed, attempt]).random())
+        return (
+            self.base_delay_s
+            * self.factor ** (attempt - 1)
+            * (1.0 + self.jitter * u)
+        )
+
+
+def with_retry(
+    fn,
+    *,
+    policy: RetryPolicy | None = None,
+    retryable: tuple = (TransientStorageError,),
+    metrics: ExecutionMetrics | None = None,
+):
+    """Call ``fn`` under bounded retry; returns ``(result, delays)``.
+
+    ``delays`` is the list of virtual backoff delays (seconds) the policy
+    scheduled between attempts — recorded, never slept.  Non-retryable
+    exceptions propagate untouched; exhausting the budget raises
+    :class:`RetryExhaustedError` chained to the last failure.  When
+    ``metrics`` is given, each failed attempt bumps ``metrics.retries``.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    delays: list[float] = []
+    last: Exception | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(), delays
+        except retryable as exc:
+            last = exc
+            if metrics is not None:
+                metrics.retries += 1
+            if attempt < policy.max_attempts:
+                delays.append(policy.delay_s(attempt))
+    raise RetryExhaustedError(
+        f"gave up after {policy.max_attempts} attempts: {last}"
+    ) from last

@@ -1,0 +1,153 @@
+"""Property tests: strict ``apply_events`` against hostile event streams.
+
+The replay must reject — not silently absorb — duplicate edge inserts,
+deletes of absent edges, out-of-range vertex ids, unknown kinds, and
+malformed payloads, and it must never corrupt the input snapshot while
+doing so.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    DynamicGraphSpec,
+    UpdateEvent,
+    UpdateKind,
+    apply_events,
+    event_violation,
+    generate_dynamic_graph,
+)
+
+
+def _graph(seed):
+    return generate_dynamic_graph(
+        DynamicGraphSpec(
+            name="hostile", num_vertices=60, num_edges=150, dim=3,
+            num_snapshots=2, seed=seed,
+        )
+    )
+
+
+def _existing_edge(snap):
+    edges = snap.edge_array()
+    assert edges.shape[0] > 0
+    return int(edges[0, 0]), int(edges[0, 1])
+
+
+def _absent_edge(snap):
+    n = snap.num_vertices
+    for s in range(n):
+        row = set(snap.neighbors(s).tolist())
+        for d in range(n):
+            if d not in row:
+                return s, d
+    raise AssertionError("complete graph in test fixture")
+
+
+class TestHostileEventsRejected:
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_duplicate_edge_insert(self, seed):
+        snap = _graph(seed)[0]
+        s, d = _existing_edge(snap)
+        with pytest.raises(ValueError, match="duplicate insertion"):
+            apply_events(snap, [UpdateEvent(UpdateKind.EDGE_INSERT, s, (s, d))])
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_delete_of_absent_edge(self, seed):
+        snap = _graph(seed)[0]
+        s, d = _absent_edge(snap)
+        with pytest.raises(ValueError, match="absent edge"):
+            apply_events(snap, [UpdateEvent(UpdateKind.EDGE_DELETE, s, (s, d))])
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_out_of_range_vertex_id(self, seed):
+        snap = _graph(seed)[0]
+        n = snap.num_vertices
+        bad = UpdateEvent(
+            UpdateKind.FEATURE_UPDATE, n, np.zeros(snap.dim, dtype=np.float32)
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            apply_events(snap, [bad])
+        with pytest.raises(ValueError, match="out of range"):
+            apply_events(
+                snap, [UpdateEvent(UpdateKind.EDGE_INSERT, 0, (0, n))]
+            )
+
+    def test_unknown_kind_and_malformed_payloads(self):
+        snap = _graph(0)[0]
+        with pytest.raises(ValueError, match="unknown event kind"):
+            apply_events(snap, [UpdateEvent("mystery", 0)])
+        with pytest.raises(ValueError, match="not an UpdateEvent"):
+            apply_events(snap, [("edge_insert", 0, (0, 1))])
+        with pytest.raises(ValueError, match="payload"):
+            apply_events(snap, [UpdateEvent(UpdateKind.EDGE_INSERT, 0, (0,))])
+        nan = np.zeros(snap.dim, dtype=np.float32)
+        nan[0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            apply_events(snap, [UpdateEvent(UpdateKind.FEATURE_UPDATE, 0, nan)])
+
+    def test_presence_rules(self):
+        snap = _graph(1)[0].copy()
+        snap.present[5] = False
+        snap.features[5] = 0.0
+        with pytest.raises(ValueError, match="absent vertex"):
+            apply_events(
+                snap,
+                [UpdateEvent(
+                    UpdateKind.FEATURE_UPDATE, 5,
+                    np.ones(snap.dim, dtype=np.float32),
+                )],
+            )
+        with pytest.raises(ValueError, match="already-present"):
+            apply_events(snap, [UpdateEvent(UpdateKind.VERTEX_ARRIVE, 0)])
+        with pytest.raises(ValueError, match="departure of absent"):
+            apply_events(snap, [UpdateEvent(UpdateKind.VERTEX_DEPART, 5)])
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_rejection_does_not_corrupt_the_input(self, seed):
+        snap = _graph(seed)[0]
+        before = snap.copy()
+        s, d = _existing_edge(snap)
+        with pytest.raises(ValueError):
+            apply_events(
+                snap,
+                [
+                    UpdateEvent(UpdateKind.EDGE_DELETE, s, (s, d)),
+                    UpdateEvent(UpdateKind.EDGE_DELETE, s, (s, d)),  # poison
+                ],
+            )
+        assert np.array_equal(snap.indptr, before.indptr)
+        assert np.array_equal(snap.indices, before.indices)
+        assert np.array_equal(snap.present, before.present)
+        np.testing.assert_array_equal(snap.features, before.features)
+
+    def test_violation_predicate_matches_strict_replay(self):
+        """event_violation is the single authority: events it clears apply
+        cleanly, events it flags raise with that exact reason."""
+        snap = _graph(2)[0]
+        n = snap.num_vertices
+        s, d = _existing_edge(snap)
+        keys = set()
+        src = np.repeat(np.arange(n, dtype=np.int64), snap.degrees)
+        for k in (src * n + snap.indices.astype(np.int64)).tolist():
+            keys.add(int(k))
+        dup = UpdateEvent(UpdateKind.EDGE_INSERT, s, (s, d))
+        reason = event_violation(
+            dup, num_vertices=n, dim=snap.dim,
+            present=snap.present, edge_keys=keys,
+        )
+        assert reason is not None
+        with pytest.raises(ValueError, match="invalid update event"):
+            apply_events(snap, [dup])
+        ok = UpdateEvent(UpdateKind.EDGE_DELETE, s, (s, d))
+        assert event_violation(
+            ok, num_vertices=n, dim=snap.dim,
+            present=snap.present, edge_keys=keys,
+        ) is None
+        apply_events(snap, [ok])  # must not raise

@@ -1,0 +1,156 @@
+"""Crash-consistency tests for checkpoint/replay.
+
+The headline property: kill the stream at *any* event boundary, restore
+from the checkpoint into a fresh process (fresh model objects, same
+seeds), replay the rest of the feed — and the combined outputs are
+bit-identical to the uninterrupted run.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.engine import StreamingInference
+from repro.graphs import load_dataset
+from repro.models import make_model
+from repro.resilience import (
+    arrays_to_carry,
+    carry_to_arrays,
+    load_checkpoint,
+    restore_stream,
+    save_checkpoint,
+)
+
+WINDOW = 3
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("GT", num_snapshots=7, seed=SEED)
+
+
+def _model(graph, name="T-GCN"):
+    return make_model(name, graph.dim, hidden_dim=16, seed=SEED)
+
+
+def _run(stream, snapshots):
+    outs = []
+    for snap in snapshots:
+        r = stream.push(snap.copy())
+        if r is not None:
+            outs.extend(r.outputs)
+    r = stream.flush()
+    if r is not None:
+        outs.extend(r.outputs)
+    return outs
+
+
+def _uninterrupted(graph, name="T-GCN"):
+    return _run(
+        StreamingInference(_model(graph, name), window_size=WINDOW),
+        list(graph),
+    )
+
+
+class TestCrashConsistency:
+    @pytest.mark.parametrize("model_name", ["T-GCN", "GC-LSTM", "EvolveGCN"])
+    def test_restore_at_every_event_boundary(self, graph, model_name):
+        expected = _uninterrupted(graph, model_name)
+        for crash_at in range(graph.num_snapshots + 1):
+            first = StreamingInference(
+                _model(graph, model_name), window_size=WINDOW
+            )
+            early = []
+            for snap in list(graph)[:crash_at]:
+                r = first.push(snap.copy())
+                if r is not None:
+                    early.extend(r.outputs)
+            buf = io.BytesIO()
+            save_checkpoint(first, buf)
+            del first  # the crash
+            buf.seek(0)
+            resumed = StreamingInference(
+                _model(graph, model_name), window_size=WINDOW
+            )
+            resumed.restore_carry(load_checkpoint(buf))
+            late = _run(resumed, list(graph)[crash_at:])
+            replayed = early + late
+            assert len(replayed) == len(expected)
+            for a, b in zip(expected, replayed):
+                np.testing.assert_array_equal(
+                    a, b, err_msg=f"crash_at={crash_at}"
+                )
+
+    def test_metrics_survive_the_round_trip(self, graph):
+        stream = StreamingInference(_model(graph), window_size=WINDOW)
+        for snap in list(graph)[:4]:
+            stream.push(snap.copy())
+        buf = io.BytesIO()
+        save_checkpoint(stream, buf)
+        buf.seek(0)
+        resumed = restore_stream(
+            StreamingInference(_model(graph), window_size=WINDOW), buf
+        )
+        assert resumed.metrics.as_dict() == stream.metrics.as_dict()
+        assert resumed.pending == stream.pending
+
+    def test_file_path_round_trip(self, graph, tmp_path):
+        stream = StreamingInference(_model(graph), window_size=WINDOW)
+        for snap in list(graph)[:2]:
+            stream.push(snap.copy())
+        path = tmp_path / "carry.npz"
+        save_checkpoint(stream, path)
+        original = carry_to_arrays(stream.carry_state())
+        restored = carry_to_arrays(load_checkpoint(path))
+        assert set(original) == set(restored)
+        for key in original:
+            np.testing.assert_array_equal(original[key], restored[key])
+
+
+class TestTamperRejection:
+    def _arrays(self, graph, pushes=1):
+        stream = StreamingInference(_model(graph), window_size=WINDOW)
+        for snap in list(graph)[:pushes]:
+            stream.push(snap.copy())
+        return carry_to_arrays(stream.carry_state())
+
+    def test_unknown_format_rejected(self, graph):
+        arrays = self._arrays(graph)
+        arrays["meta/format"] = np.int64(999)
+        with pytest.raises(ValueError, match="format"):
+            arrays_to_carry(arrays)
+
+    def test_unknown_state_kind_rejected(self, graph):
+        arrays = self._arrays(graph, pushes=4)
+        arrays["meta/state_kind"] = np.str_("quantum")
+        with pytest.raises(ValueError, match="state kind"):
+            arrays_to_carry(arrays)
+
+    def test_truncated_pending_snapshot_rejected(self, graph):
+        arrays = self._arrays(graph, pushes=1)  # window open: 1 pending
+        assert int(arrays["meta/num_pending"]) == 1
+        arrays["pending/0/indices"] = arrays["pending/0/indices"][:-3]
+        with pytest.raises(ValueError, match="indptr"):
+            arrays_to_carry(arrays)
+
+    def test_window_size_mismatch_rejected(self, graph):
+        stream = StreamingInference(_model(graph), window_size=WINDOW)
+        stream.push(graph[0].copy())
+        carry = stream.carry_state()
+        other = StreamingInference(_model(graph), window_size=WINDOW + 1)
+        with pytest.raises(ValueError, match="window"):
+            other.restore_carry(carry)
+
+    def test_geometry_mismatch_rejected(self, graph):
+        stream = StreamingInference(_model(graph), window_size=WINDOW)
+        for snap in list(graph)[:4]:
+            stream.push(snap.copy())
+        carry = stream.carry_state()
+        narrow = StreamingInference(
+            make_model("T-GCN", graph.dim, hidden_dim=8, seed=SEED),
+            window_size=WINDOW,
+        )
+        with pytest.raises(ValueError):
+            narrow.restore_carry(carry)

@@ -1,0 +1,180 @@
+"""Tests for guarded ingestion: validation, dead-lettering, retry."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    UpdateEvent,
+    UpdateKind,
+    apply_events,
+    event_stream,
+    load_dataset,
+)
+from repro.resilience import (
+    DeadLetter,
+    DeadLetterQueue,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    GuardedIngest,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientStorageError,
+    snapshot_violation,
+    with_retry,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("GT", num_snapshots=4, seed=3)
+
+
+class TestSnapshotViolation:
+    def test_clean_snapshot_passes(self, graph):
+        assert snapshot_violation(graph[0]) is None
+
+    def test_wrong_type(self):
+        assert "not a CSRSnapshot" in snapshot_violation(object())
+
+    def test_truncated_indices(self, graph):
+        bad = copy.copy(graph[0])
+        bad.indices = bad.indices[: bad.num_edges // 2]
+        assert "truncated CSR" in snapshot_violation(bad)
+
+    def test_non_finite_features(self, graph):
+        bad = graph[0].copy()
+        bad.features[0, 0] = np.nan
+        assert "non-finite" in snapshot_violation(bad)
+
+    def test_out_of_range_neighbour(self, graph):
+        bad = graph[0].copy()
+        bad.indices[0] = bad.num_vertices
+        assert "out of range" in snapshot_violation(bad)
+
+    def test_geometry_drift(self, graph):
+        snap = graph[0]
+        assert "vertex count" in snapshot_violation(
+            snap, num_vertices=snap.num_vertices + 1
+        )
+        assert "feature dimension" in snapshot_violation(snap, dim=snap.dim + 1)
+
+
+class TestDeadLetterQueue:
+    def test_record_and_tally(self):
+        dlq = DeadLetterQueue()
+        dlq.record(1, "a")
+        dlq.record(2, "a")
+        dlq.record(2, "b", payload=object())
+        assert len(dlq) == 3
+        assert dlq.by_reason() == {"a": 2, "b": 1}
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            DeadLetter(step=-1, reason="x")
+
+
+class TestGuardedIngest:
+    def test_quarantines_exactly_the_poison_events(self, graph):
+        plan = FaultPlan([], seed=0)
+        legit = event_stream(graph)[0]
+        poisons = [
+            plan.poison_event(FaultSpec(kind, 1), graph[1])
+            for kind in sorted(
+                {FaultKind.CORRUPT_EVENT, FaultKind.NAN_FEATURE,
+                 FaultKind.DUPLICATE_EVENT},
+                key=lambda k: k.value,
+            )
+        ]
+        guard = GuardedIngest()
+        rebuilt = guard.apply(graph[0], legit + poisons, step=1)
+        # poisons quarantined, clean remainder rebuilds the true successor
+        assert len(guard.dlq) == len(poisons)
+        assert guard.metrics.dead_letter_events == len(poisons)
+        assert guard.metrics.incidents == len(poisons)
+        assert np.array_equal(rebuilt.indices, graph[1].indices)
+        np.testing.assert_array_equal(rebuilt.features, graph[1].features)
+
+    def test_clean_batch_passes_untouched(self, graph):
+        guard = GuardedIngest()
+        legit = event_stream(graph)[0]
+        clean, rejected = guard.filter_events(graph[0], legit, step=1)
+        assert clean == legit
+        assert rejected == []
+        assert len(guard.dlq) == 0
+
+    def test_survivors_apply_strictly(self, graph):
+        """Whatever the guard passes must be accepted by strict replay."""
+        guard = GuardedIngest()
+        hostile = list(event_stream(graph)[0]) + [
+            UpdateEvent(UpdateKind.EDGE_DELETE, 0, (0, 0)),
+            UpdateEvent("garbage", 0),
+        ]
+        clean, _ = guard.filter_events(graph[0], hostile, step=1)
+        apply_events(graph[0], clean)  # must not raise
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_grows(self):
+        p = RetryPolicy(max_attempts=4, base_delay_s=0.01, factor=2.0,
+                        jitter=0.1, seed=9)
+        assert p.delay_s(1) == p.delay_s(1)
+        assert p.delay_s(2) > p.delay_s(1)
+        assert 0.01 <= p.delay_s(1) <= 0.01 * 1.1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError, match="factor"):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError, match="seed"):
+            RetryPolicy(seed=-1)
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay_s(0)
+
+
+class TestWithRetry:
+    def test_first_try_success(self):
+        result, delays = with_retry(lambda: 42)
+        assert result == 42
+        assert delays == []
+
+    def test_recovers_after_transient_failures(self):
+        from repro.engine import ExecutionMetrics
+
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise TransientStorageError("boom")
+            return "ok"
+
+        m = ExecutionMetrics()
+        result, delays = with_retry(
+            flaky, policy=RetryPolicy(max_attempts=3, seed=1), metrics=m
+        )
+        assert result == "ok"
+        assert len(delays) == 2
+        assert m.retries == 2
+
+    def test_exhaustion_raises_chained(self):
+        def always():
+            raise TransientStorageError("down")
+
+        with pytest.raises(RetryExhaustedError) as exc:
+            with_retry(always, policy=RetryPolicy(max_attempts=2))
+        assert isinstance(exc.value.__cause__, TransientStorageError)
+
+    def test_non_retryable_propagates(self):
+        def bad():
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            with_retry(bad)

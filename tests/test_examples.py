@@ -18,6 +18,7 @@ EXAMPLES = [
     "accelerator_codesign.py",
     "public_trace_study.py",
     "online_inference.py",
+    "chaos_serving.py",
 ]
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
