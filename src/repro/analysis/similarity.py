@@ -52,6 +52,17 @@ def cosine_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.clip(out, -1.0, 1.0)
 
 
+def _gather_rows(snap: CSRSnapshot, vertices: np.ndarray, deg: np.ndarray) -> np.ndarray:
+    """Concatenated neighbour lists of ``vertices`` (each row sorted)."""
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    first = np.repeat(snap.indptr[vertices].astype(np.int64), deg)
+    run_start = np.repeat(np.cumsum(deg) - deg, deg)
+    idx = first + (np.arange(total, dtype=np.int64) - run_start)
+    return snap.indices[idx].astype(np.int64)
+
+
 def neighbor_stability_weights(
     snap_t: CSRSnapshot,
     snap_t1: CSRSnapshot,
@@ -64,19 +75,41 @@ def neighbor_stability_weights(
 
     ``feature_stable`` marks vertices whose own features are unchanged
     between the two snapshots (the paper's inclusive stable set).
+
+    All rows are intersected at once: neighbour lists are sorted (a
+    :func:`~repro.graphs.snapshot.build_csr` invariant), so tagging each
+    entry with its owner's rank yields two strictly increasing composite
+    keys whose common elements fall out of one ``searchsorted`` pass.
     """
-    out = np.zeros(len(vertices), dtype=np.float64)
-    for i, v in enumerate(np.asarray(vertices).tolist()):
-        a = snap_t.neighbors(v)
-        b = snap_t1.neighbors(v)
-        if len(a) == 0 and len(b) == 0:
-            out[i] = 1.0
-            continue
-        common = np.intersect1d(a, b, assume_unique=True)
-        if common.size == 0:
-            out[i] = 0.0
-            continue
-        out[i] = float(feature_stable[common].mean())
+    vertices = np.asarray(vertices, dtype=np.int64)
+    r = vertices.size
+    out = np.zeros(r, dtype=np.float64)
+    if r == 0:
+        return out
+    deg_a = snap_t.degrees[vertices].astype(np.int64)
+    deg_b = snap_t1.degrees[vertices].astype(np.int64)
+    # both neighbourhoods empty and equal -> perfectly consistent
+    out[(deg_a == 0) & (deg_b == 0)] = 1.0
+    nb_a = _gather_rows(snap_t, vertices, deg_a)
+    nb_b = _gather_rows(snap_t1, vertices, deg_b)
+    if nb_a.size == 0 or nb_b.size == 0:
+        return out
+    n = np.int64(snap_t.num_vertices)
+    owner_a = np.repeat(np.arange(r, dtype=np.int64), deg_a)
+    key_a = owner_a * n + nb_a
+    key_b = np.repeat(np.arange(r, dtype=np.int64), deg_b) * n + nb_b
+    pos = np.searchsorted(key_b, key_a)
+    pos_c = np.minimum(pos, key_b.size - 1)
+    hit = (pos < key_b.size) & (key_b[pos_c] == key_a)
+    owners = owner_a[hit]
+    common = nb_a[hit]
+    cnt = np.bincount(owners, minlength=r)
+    stable = np.bincount(
+        owners, weights=feature_stable[common].astype(np.float64), minlength=r
+    )
+    has = cnt > 0
+    # integer-valued float64 sums: identical to feature_stable[common].mean()
+    out[has] = stable[has] / cnt[has]
     return out
 
 

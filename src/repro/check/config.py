@@ -8,12 +8,15 @@ The block supports rule enable/disable and per-path excludes::
     exclude = ["tests/check/fixtures/*"]  # fnmatch on posix relpaths
     determinism-paths = ["accel", "hardware", "engine", "formats"]
     validation-paths = ["hardware", "accel/config.py"]
+    hot-paths = ["formats", "graphs/updates.py", "engine", "skipping"]
 
 ``determinism-paths`` names the simulator-core directories rule R001
 polices; ``validation-paths`` names where R005 requires range-checked
-dataclass fields.  Both match path *parts* of the module's repo-relative
-path, so ``"hardware"`` covers every file under any ``hardware/``
-directory.
+dataclass fields; ``hot-paths`` names the vectorised kernels rule R006
+keeps free of per-element Python loops.  All three match path *parts* of
+the module's repo-relative path, so ``"hardware"`` covers every file
+under any ``hardware/`` directory (entries containing ``/`` match as
+path suffixes instead).
 """
 
 from __future__ import annotations
@@ -24,10 +27,11 @@ from fnmatch import fnmatch
 from pathlib import Path
 
 __all__ = ["CheckConfig", "load_config", "DEFAULT_DETERMINISM_PATHS",
-           "DEFAULT_VALIDATION_PATHS"]
+           "DEFAULT_VALIDATION_PATHS", "DEFAULT_HOT_PATHS"]
 
 DEFAULT_DETERMINISM_PATHS = ("accel", "hardware", "engine", "formats")
 DEFAULT_VALIDATION_PATHS = ("hardware", "accel/config.py")
+DEFAULT_HOT_PATHS = ("formats", "graphs/updates.py", "engine", "skipping")
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,7 @@ class CheckConfig:
     exclude: tuple[str, ...] = ()
     determinism_paths: tuple[str, ...] = DEFAULT_DETERMINISM_PATHS
     validation_paths: tuple[str, ...] = DEFAULT_VALIDATION_PATHS
+    hot_paths: tuple[str, ...] = DEFAULT_HOT_PATHS
 
     def rule_enabled(self, code: str) -> bool:
         """Whether rule ``code`` runs under this configuration.  A
@@ -99,4 +104,5 @@ def _from_mapping(block: dict) -> CheckConfig:
             "determinism-paths", DEFAULT_DETERMINISM_PATHS
         ),
         validation_paths=strings("validation-paths", DEFAULT_VALIDATION_PATHS),
+        hot_paths=strings("hot-paths", DEFAULT_HOT_PATHS),
     )

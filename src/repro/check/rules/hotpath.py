@@ -1,0 +1,103 @@
+"""R006 — hot-path loops: vectorised kernels stay vectorised.
+
+The perf work that batched ``apply_events`` and the format kernels is
+easy to erode: one innocent ``for v in vertices.tolist():`` in a review
+re-introduces the per-element Python costs the vectorisation removed,
+and nothing fails — the result is still correct, just 10-100x slower.
+
+Inside the configured hot paths (default: ``formats/``,
+``graphs/updates.py``, ``engine/``, ``skipping/``) this rule flags
+``for``/``while`` *statements* that iterate over per-element graph data:
+
+* a ``for`` whose target or iterable mentions a hot noun (``vertices``,
+  ``edges``, ``events``, ``neighbors``, ``sources``, ``targets``,
+  ``keys``, ``entries``, ...), or whose iterable calls ``.tolist()``
+  (the canonical array-to-Python-loop escape hatch);
+* a ``while`` whose test mentions a hot noun.
+
+Comprehensions and generator expressions are not flagged — they are the
+idiomatic way to build small per-run lists — and loops over layers,
+snapshots, or windows (bounded, coarse-grained) carry no hot noun, so
+they pass untouched.  Deliberate scalar paths (reference
+implementations kept for exact error semantics, amortised-shift PMA
+internals) carry ``# repro: noqa R006`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, rule
+
+__all__ = ["check_hot_path_loops", "HOT_NOUNS"]
+
+#: Identifiers that name per-element graph data.  A loop statement whose
+#: header touches one of these walks O(vertices) or O(edges) items in
+#: Python — exactly what the vectorised kernels exist to avoid.
+HOT_NOUNS = frozenset({
+    "vertex", "vertices",
+    "edge", "edges",
+    "event", "events", "ev",
+    "neighbor", "neighbors", "neighbour", "neighbours",
+    "source", "sources",
+    "target", "targets",
+    "keys", "entries",
+})
+
+
+def _names(node: ast.AST) -> set[str]:
+    """Every identifier mentioned in ``node`` (names and attributes)."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+        elif isinstance(sub, ast.arg):
+            out.add(sub.arg)
+    return out
+
+
+def _calls_tolist(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "tolist"
+        ):
+            return True
+    return False
+
+
+@rule("R006", "hot-path-loop",
+      "forbid per-element Python loops in vectorised hot paths")
+def check_hot_path_loops(ctx: ModuleContext) -> Iterator[Finding]:
+    cfg = ctx.project.config
+    if not cfg.path_covered(ctx.relpath, cfg.hot_paths):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For):
+            header = _names(node.target) | _names(node.iter)
+            hot = sorted(header & HOT_NOUNS)
+            if hot:
+                yield ctx.finding(
+                    node, "R006",
+                    f"per-element loop over {', '.join(map(repr, hot))} in"
+                    " a vectorised hot path (batch with array ops or mark"
+                    " '# repro: noqa R006' with a reason)")
+            elif _calls_tolist(node.iter):
+                yield ctx.finding(
+                    node, "R006",
+                    "loop over '.tolist()' in a vectorised hot path"
+                    " (keep the data in arrays or mark"
+                    " '# repro: noqa R006' with a reason)")
+        elif isinstance(node, ast.While):
+            hot = sorted(_names(node.test) & HOT_NOUNS)
+            if hot:
+                yield ctx.finding(
+                    node, "R006",
+                    f"per-element while-loop over {', '.join(map(repr, hot))}"
+                    " in a vectorised hot path (batch with array ops or"
+                    " mark '# repro: noqa R006' with a reason)")

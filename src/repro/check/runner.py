@@ -130,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro.check",
         description="repo-specific static analysis for the TaGNN"
-        " reproduction (rules R001-R005)",
+        " reproduction (rules R001-R006)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to scan (default: src)")

@@ -19,8 +19,12 @@ Commands
 ``generate``
     Generate a synthetic dataset and save it as a ``.npz`` archive.
 ``check``
-    Run the repo's static-analysis pass (rules R001-R005, see
+    Run the repo's static-analysis pass (rules R001-R006, see
     docs/static_analysis.md); exits non-zero on any finding.
+``perf``
+    Run the hot-path performance suite (event-application throughput,
+    streaming window latency, peak RSS) and archive a schema-versioned
+    ``BENCH_<timestamp>.json`` (see docs/performance.md).
 ``chaos``
     Run a seeded fault-injection campaign through the resilient serving
     path and print the incident report (see docs/resilience.md).
@@ -43,6 +47,7 @@ __all__ = [
     "cmd_compare",
     "cmd_datasets",
     "cmd_generate",
+    "cmd_perf",
     "cmd_simulate",
     "cmd_stats",
     "main",
@@ -95,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--window", type=int, default=4)
     ch.add_argument("--faults-per-kind", type=int, default=1)
     ch.add_argument("--fault-seed", type=int, default=7)
+
+    perf = sub.add_parser("perf", help="run the hot-path performance suite")
+    perf.add_argument("--smoke", action="store_true",
+                      help="30-second CI subset (smaller cells, 3 repeats)")
+    perf.add_argument("--repeats", type=int, default=7,
+                      help="timed passes per cell (best/pooled, default 7)")
+    perf.add_argument("--out", default=".",
+                      help="directory for BENCH_<timestamp>.json (default .)")
+    perf.add_argument("--no-write", action="store_true",
+                      help="print tables only, skip the JSON artefact")
+    perf.add_argument("--baseline", metavar="JSON",
+                      help="prior BENCH_*.json to diff against (report-only)")
 
     chk = sub.add_parser("check", help="run the static-analysis pass")
     chk.add_argument("paths", nargs="*", default=["src"],
@@ -300,6 +317,30 @@ def cmd_chaos(args) -> int:
     return 0 if complete else 1
 
 
+def cmd_perf(args) -> int:
+    import json
+
+    from .bench.perf import (
+        PerfConfig,
+        render_delta_table,
+        render_perf_tables,
+        run_perf,
+        write_result,
+    )
+
+    config = PerfConfig(smoke=args.smoke, repeats=args.repeats)
+    result = run_perf(config)
+    print(render_perf_tables(result))
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        print(render_delta_table(result, baseline))
+    if not args.no_write:
+        path = write_result(result, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_check(args) -> int:
     from .check.runner import main as check_main
 
@@ -319,6 +360,7 @@ COMMANDS = {
     "accuracy": cmd_accuracy,
     "generate": cmd_generate,
     "stats": cmd_stats,
+    "perf": cmd_perf,
     "check": cmd_check,
     "chaos": cmd_chaos,
 }

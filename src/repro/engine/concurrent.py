@@ -34,7 +34,6 @@ from ..analysis.similarity import similarity_scores
 from ..analysis.subgraph import extract_affected_subgraph, union_adjacency
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import CSRSnapshot
-from ..models.activations import ACTIVATIONS
 from ..models.base import DGNNModel
 from ..skipping.delta import DeltaCellCache
 from ..skipping.policy import CellUpdateMode, SkippingPolicy, SkipThresholds
@@ -168,9 +167,10 @@ class ConcurrentEngine:
         """Multi-snapshot GNN with changed-set propagation (exact)."""
         model = self.model
         if not self.enable_overlap:
-            zs = []
+            # ablation WO/OADL: every snapshot fully recomputed through
+            # the window kernel
+            zs = model.gnn_forward_window(window.snapshots)
             for snap in window:
-                zs.append(model.gnn_forward(snap))
                 self._account_full_gnn(m, snap)
             return zs
 
@@ -184,11 +184,9 @@ class ConcurrentEngine:
         h = snap0.features
         for layer in model.gnn.layers:
             if layer.out_dim < layer.in_dim:
-                y = layer.combine(h).astype(np.float32)
+                y = layer.combine(h)
                 rep_combined.append(y)
-                h = ACTIVATIONS[layer.activation](snap0.aggregate(y)).astype(
-                    np.float32
-                )
+                h = layer.act(snap0.aggregate(y))
             else:
                 rep_combined.append(None)
                 h = layer.forward(snap0, h)
@@ -275,7 +273,7 @@ class ConcurrentEngine:
         else:
             res = agg @ layer.weight + layer.bias
             m.combination_macs += int(mask.sum()) * layer.in_dim * layer.out_dim
-        return ACTIVATIONS[layer.activation](res).astype(np.float32, copy=False)
+        return layer.act(res)
 
     def _account_full_gnn(self, m, snap) -> None:
         """Accounting of one full-GNN snapshot pass (the representative,

@@ -60,22 +60,28 @@ class ReferenceEngine:
         state = self.model.init_state(n)
         h_out = np.zeros((n, self.model.out_dim), dtype=np.float32)
         outputs: list[np.ndarray] = []
-        for t, snap in enumerate(graph):
+        # GNN passes run one window at a time through the window kernel;
+        # the cell updates stay sequential because each consumes the
+        # previous state.
+        for start in range(0, len(graph), self.window_size):
             # weight-evolving (RNN-free) models advance per batch
-            if t % self.window_size == 0 and hasattr(self.model, "advance_window"):
-                self.model.advance_window(t // self.window_size)
-            z = self.model.gnn_forward(snap)
-            h, new_state = self.model.cell_step(z, state, snap)
-            # absent vertices are not computed: freeze their output and
-            # recurrent state (systems do not schedule absent vertices)
-            absent = np.flatnonzero(~snap.present)
-            if absent.size:
-                h[absent] = h_out[absent]
-                new_state.select_rows(absent, state)
-            h_out = h
-            state = new_state
-            outputs.append(h_out.copy())
-            self._account_snapshot(m, snap)
+            if hasattr(self.model, "advance_window"):
+                self.model.advance_window(start // self.window_size)
+            snaps = graph.snapshots[start : start + self.window_size]
+            zs = self.model.gnn_forward_window(snaps)
+            for snap, z in zip(snaps, zs):
+                h, new_state = self.model.cell_step(z, state, snap)
+                # absent vertices are not computed: freeze their output
+                # and recurrent state (systems do not schedule absent
+                # vertices)
+                absent = np.flatnonzero(~snap.present)
+                if absent.size:
+                    h[absent] = h_out[absent]
+                    new_state.select_rows(absent, state)
+                h_out = h
+                state = new_state
+                outputs.append(h_out.copy())
+                self._account_snapshot(m, snap)
         m.snapshots_processed = len(graph)
         self._account_redundancy(m, graph)
         return EngineResult(outputs, m)

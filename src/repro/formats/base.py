@@ -94,6 +94,7 @@ class WindowSelection:
     window: DynamicGraph
     sources: np.ndarray
     _edges: np.ndarray | None = field(default=None, repr=False)
+    _fv: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.sources = np.unique(np.asarray(self.sources, dtype=np.int64))
@@ -144,6 +145,37 @@ class WindowSelection:
                 self._edges = np.empty((0, 3), dtype=np.int64)
         return self._edges
 
+    def feature_version_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(fv_vertex, fv_start)`` arrays of distinct feature
+        versions, sorted by (vertex, start snapshot).
+
+        For each vertex appearing in the selection (as source or target),
+        one row per snapshot at which its feature vector differs from the
+        previous snapshot — snapshot 0 always included.  This is the
+        vectorised backbone of :meth:`feature_versions`; formats consume
+        it directly to build version tables without per-vertex loops.
+        """
+        if self._fv is None:
+            e = self.edges()
+            vertices = np.unique(
+                np.concatenate([e[:, 0], e[:, 1], self.sources])
+            )
+            snaps = self.window.snapshots
+            K = len(snaps)
+            changed = np.ones((vertices.size, K), dtype=bool)
+            for k in range(1, K):
+                changed[:, k] = np.any(
+                    snaps[k].features[vertices]
+                    != snaps[k - 1].features[vertices],
+                    axis=1,
+                )
+            fv_vertex = np.repeat(vertices, changed.sum(axis=1))
+            fv_start = np.tile(np.arange(K, dtype=np.int64), vertices.size)[
+                changed.ravel()
+            ]
+            self._fv = (fv_vertex, fv_start)
+        return self._fv
+
     def feature_versions(self) -> dict[int, list[int]]:
         """For each vertex appearing in the selection (as source or
         target), the snapshot indices at which its feature vector differs
@@ -152,17 +184,10 @@ class WindowSelection:
         ``result[v]`` lists the snapshot offsets holding *distinct*
         feature versions of ``v`` — the minimum any format must store.
         """
-        e = self.edges()
-        vertices = np.unique(np.concatenate([e[:, 0], e[:, 1], self.sources]))
-        out: dict[int, list[int]] = {}
-        snaps = self.window.snapshots
-        for v in vertices.tolist():
-            versions = [0]
-            for k in range(1, len(snaps)):
-                if not np.array_equal(snaps[k].features[v], snaps[k - 1].features[v]):
-                    versions.append(k)
-            out[v] = versions
-        return out
+        fv_vertex, fv_start = self.feature_version_arrays()
+        vertices, starts = np.unique(fv_vertex, return_index=True)
+        splits = np.split(fv_start, starts[1:])
+        return {int(v): s.tolist() for v, s in zip(vertices, splits)}
 
 
 class MultiSnapshotStorage(abc.ABC):
@@ -200,9 +225,9 @@ class MultiSnapshotStorage(abc.ABC):
         """Stored content as a canonical sorted ``(source, target,
         timestamp)`` array — used by equivalence tests."""
         rows = []
-        for s in self.selection.sources.tolist():
+        for s in self.selection.sources.tolist():  # repro: noqa R006 — test-only canonicaliser, exercises scalar gather()
             tgt, ts = self.gather(s)
-            for t_, k_ in zip(tgt.tolist(), ts.tolist()):
+            for t_, k_ in zip(tgt.tolist(), ts.tolist()):  # repro: noqa R006 — test-only canonicaliser
                 rows.append((s, t_, k_))
         if not rows:
             return np.empty((0, 3), dtype=np.int64)

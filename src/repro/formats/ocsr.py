@@ -54,6 +54,9 @@ class OCSRStorage(MultiSnapshotStorage):
         np.cumsum(self.enum, out=self.offsets[1:])
         self.tindex = e[:, 1].copy()
         self.timestamp = e[:, 2].copy()
+        #: array (re)allocations performed by mutation kernels — the bulk
+        #: splice guarantee is O(1) allocations per batch, not O(batch)
+        self.mutation_allocs = 0
         self._build_feature_table()
         self._sanitize()
 
@@ -65,22 +68,17 @@ class OCSRStorage(MultiSnapshotStorage):
     # ------------------------------------------------------------------
     def _build_feature_table(self) -> None:
         """Deduplicated feature rows: one per (vertex, distinct version)."""
-        versions = self.selection.feature_versions()
+        fv_vertex, fv_start = self.selection.feature_version_arrays()
         snaps = self.selection.window.snapshots
-        fv_vertex, fv_start, rows = [], [], []
-        for v in sorted(versions):
-            for k in versions[v]:
-                fv_vertex.append(v)
-                fv_start.append(k)
-                rows.append(snaps[k].features[v])
-        self.fv_vertex = np.asarray(fv_vertex, dtype=np.int64)
-        self.fv_start = np.asarray(fv_start, dtype=np.int64)
+        self.fv_vertex = fv_vertex.astype(np.int64, copy=True)
+        self.fv_start = fv_start.astype(np.int64, copy=True)
         dim = self.selection.window.dim
-        self.feature_table = (
-            np.stack(rows).astype(np.float32)
-            if rows
-            else np.empty((0, dim), dtype=np.float32)
-        )
+        table = np.empty((self.fv_vertex.size, dim), dtype=np.float32)
+        for k in range(len(snaps)):
+            rows = self.fv_start == k
+            if rows.any():
+                table[rows] = snaps[k].features[self.fv_vertex[rows]]
+        self.feature_table = table
         # row pointer per vertex for O(log) version lookup
         self._fv_vertices, self._fv_ptr = np.unique(self.fv_vertex, return_index=True)
 
@@ -141,95 +139,194 @@ class OCSRStorage(MultiSnapshotStorage):
         cost.add(randoms=self.num_sources, words=2 * self.num_entries)
         # features: one random into the table region per run, then the
         # deduplicated rows stream (each distinct (vertex, version) row is
-        # read once per run it appears in).
-        for i, s in enumerate(self.sindex.tolist()):
-            sl = slice(int(self.offsets[i]), int(self.offsets[i + 1]))
-            pairs = np.unique(
-                self.tindex[sl] * np.int64(self.selection.num_snapshots)
-                + self._version_of(self.tindex[sl], self.timestamp[sl])
-            )
-            n_src_versions = self._num_versions(s)
-            cost.add(randoms=1, words=(len(pairs) + n_src_versions) * dim)
+        # read once per run it appears in).  Distinct (target, version)
+        # pairs per run fall out of one global dedup keyed by run id.
+        K = np.int64(self.selection.num_snapshots)
+        n = np.int64(self.selection.window.num_vertices)
+        run_id = np.repeat(
+            np.arange(self.num_sources, dtype=np.int64), self.enum
+        )
+        pair = self.tindex * K + self._version_of(self.tindex, self.timestamp)
+        uniq = np.unique(run_id * (n * K) + pair)
+        pairs_per_run = np.bincount(
+            uniq // (n * K), minlength=self.num_sources
+        )
+        words = int(((pairs_per_run + self._num_versions(self.sindex)) * dim).sum())
+        cost.add(randoms=self.num_sources, words=words)
         return cost
 
-    def _num_versions(self, vertex: int) -> int:
-        i = np.searchsorted(self._fv_vertices, vertex)
-        if i >= len(self._fv_vertices) or self._fv_vertices[i] != vertex:
-            return 0
-        stop = (
-            self._fv_ptr[i + 1] if i + 1 < len(self._fv_ptr) else len(self.fv_vertex)
-        )
-        return int(stop - self._fv_ptr[i])
+    def _num_versions(self, vertices: np.ndarray) -> np.ndarray:
+        """Stored version count per vertex (0 for vertices not stored)."""
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if len(self._fv_vertices) == 0:
+            return np.zeros(vertices.size, dtype=np.int64)
+        i = np.searchsorted(self._fv_vertices, vertices)
+        i_c = np.minimum(i, len(self._fv_vertices) - 1)
+        has = (i < len(self._fv_vertices)) & (self._fv_vertices[i_c] == vertices)
+        stops = np.append(self._fv_ptr[1:], len(self.fv_vertex))
+        return np.where(has, stops[i_c] - self._fv_ptr[i_c], 0)
 
     def _version_of(self, vertices: np.ndarray, snapshots: np.ndarray) -> np.ndarray:
-        """Vectorised version index (0-based within vertex) for pairs."""
-        out = np.zeros(len(vertices), dtype=np.int64)
-        for j, (v, k) in enumerate(zip(vertices.tolist(), snapshots.tolist())):
-            i = np.searchsorted(self._fv_vertices, v)
-            if i >= len(self._fv_vertices) or self._fv_vertices[i] != v:
-                continue
-            start = self._fv_ptr[i]
-            stop = (
-                self._fv_ptr[i + 1]
-                if i + 1 < len(self._fv_ptr)
-                else len(self.fv_vertex)
-            )
-            starts = self.fv_start[start:stop]
-            jj = int(np.searchsorted(starts, k, side="right")) - 1
-            out[j] = max(jj, 0)
-        return out
+        """Vectorised version index (0-based within vertex) for pairs.
+
+        ``fv_vertex * (K + 1) + fv_start`` is strictly increasing, so the
+        latest version with start <= snapshot is one global searchsorted
+        minus the vertex's block base; vertices without stored versions
+        land at base - 1 and clamp to 0 like the scalar lookup did.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        k1 = np.int64(self.selection.num_snapshots + 1)
+        g = self.fv_vertex * k1 + self.fv_start
+        pos = np.searchsorted(g, vertices * k1 + snapshots, side="right") - 1
+        base = np.searchsorted(self.fv_vertex, vertices, side="left")
+        return np.maximum(pos - base, 0)
 
     # ------------------------------------------------------------------
     # dynamic maintenance (paper: "efficiently accommodates dynamic
     # changes, such as inserting, updating, and deleting edges and
     # vertices, by adjusting the appropriate entries")
     # ------------------------------------------------------------------
+    def _entry_keys(self) -> np.ndarray:
+        """Strictly increasing composite key of every stored entry:
+        ``source * (K * n) + timestamp * n + target`` — exactly the
+        storage order (source runs, (timestamp, target) within a run)."""
+        K = np.int64(self.selection.num_snapshots)
+        n = np.int64(self.selection.window.num_vertices)
+        src = np.repeat(self.sindex, self.enum)
+        return src * (K * n) + self.timestamp * n + self.tindex
+
+    def _rebuild_runs(self, sources: np.ndarray) -> None:
+        """Recompute sindex/enum/offsets from the (sorted) per-entry
+        source ids — three allocations regardless of batch size."""
+        self.sindex = np.unique(sources)
+        counts = (
+            np.bincount(
+                np.searchsorted(self.sindex, sources),
+                minlength=len(self.sindex),
+            )
+            if sources.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        self.enum = counts.astype(np.int64)
+        self.offsets = np.zeros(len(self.sindex) + 1, dtype=np.int64)
+        np.cumsum(self.enum, out=self.offsets[1:])
+        self.mutation_allocs += 3
+
+    def insert_edges(self, edges: np.ndarray) -> None:
+        """Bulk splice ``(source, target, snapshot)`` rows into the right
+        runs in one pass — a single reallocation per array per batch,
+        however many edges arrive.  Duplicates (already stored or repeated
+        in the batch) are no-ops, like :meth:`insert_edge`."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+        if edges.shape[0] == 0:
+            return
+        K = np.int64(self.selection.num_snapshots)
+        n = np.int64(self.selection.window.num_vertices)
+        ts = edges[:, 2]
+        if int(ts.min()) < 0 or int(ts.max()) >= K:
+            raise ValueError("snapshot out of window")
+        new = np.unique(edges[:, 0] * (K * n) + ts * n + edges[:, 1])
+        cur = self._entry_keys()
+        pos = np.searchsorted(cur, new)
+        if cur.size:
+            dup = (pos < cur.size) & (cur[np.minimum(pos, cur.size - 1)] == new)
+            new, pos = new[~dup], pos[~dup]
+        if new.size == 0:
+            return  # pure duplicates: no-op, like the scalar path
+        rem = new % (K * n)
+        self.tindex = np.insert(self.tindex, pos, rem % n)
+        self.timestamp = np.insert(self.timestamp, pos, rem // n)
+        self.mutation_allocs += 2
+        merged_src = np.insert(np.repeat(self.sindex, self.enum), pos, new // (K * n))
+        self._rebuild_runs(merged_src)
+        self._sanitize()
+
     def insert_edge(self, source: int, target: int, snapshot: int) -> None:
         """Splice one edge into the right run, keeping (source,
         timestamp, target) order.  No-op if the entry already exists."""
-        if not 0 <= snapshot < self.selection.num_snapshots:
-            raise ValueError("snapshot out of window")
-        i = int(np.searchsorted(self.sindex, source))
-        new_source = i >= len(self.sindex) or self.sindex[i] != source
-        if new_source:
-            self.sindex = np.insert(self.sindex, i, source)
-            self.enum = np.insert(self.enum, i, 0)
-            self.offsets = np.insert(self.offsets, i, self.offsets[i])
-        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
-        run_ts, run_tg = self.timestamp[lo:hi], self.tindex[lo:hi]
-        key = run_ts * np.int64(self.selection.window.num_vertices) + run_tg
-        k = np.int64(snapshot) * self.selection.window.num_vertices + target
-        pos = int(np.searchsorted(key, k))
-        if pos < len(key) and key[pos] == k:
-            return  # duplicate
-        self.tindex = np.insert(self.tindex, lo + pos, target)
-        self.timestamp = np.insert(self.timestamp, lo + pos, snapshot)
-        self.enum[i] += 1
-        self.offsets[i + 1 :] += 1
+        self.insert_edges(np.array([[source, target, snapshot]], dtype=np.int64))
+
+    def delete_edges(self, edges: np.ndarray) -> int:
+        """Bulk remove ``(source, target, snapshot)`` rows; returns how
+        many existed.  Single compaction pass per batch."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+        if edges.shape[0] == 0:
+            return 0
+        K = np.int64(self.selection.num_snapshots)
+        n = np.int64(self.selection.window.num_vertices)
+        req = np.unique(edges[:, 0] * (K * n) + edges[:, 2] * n + edges[:, 1])
+        cur = self._entry_keys()
+        if cur.size == 0:
+            return 0
+        pos = np.searchsorted(cur, req)
+        hit = (pos < cur.size) & (cur[np.minimum(pos, cur.size - 1)] == req)
+        if not bool(hit.any()):
+            return 0
+        keep = np.ones(cur.size, dtype=bool)
+        keep[pos[hit]] = False
+        kept_src = np.repeat(self.sindex, self.enum)[keep]
+        self.tindex = self.tindex[keep]
+        self.timestamp = self.timestamp[keep]
+        self.mutation_allocs += 2
+        self._rebuild_runs(kept_src)
         self._sanitize()
+        return int(hit.sum())
 
     def delete_edge(self, source: int, target: int, snapshot: int) -> bool:
         """Remove one edge entry; returns whether it existed."""
-        i = int(np.searchsorted(self.sindex, source))
-        if i >= len(self.sindex) or self.sindex[i] != source:
-            return False
-        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
-        hit = np.flatnonzero(
-            (self.tindex[lo:hi] == target) & (self.timestamp[lo:hi] == snapshot)
+        return (
+            self.delete_edges(
+                np.array([[source, target, snapshot]], dtype=np.int64)
+            )
+            == 1
         )
-        if hit.size == 0:
-            return False
-        pos = lo + int(hit[0])
-        self.tindex = np.delete(self.tindex, pos)
-        self.timestamp = np.delete(self.timestamp, pos)
-        self.enum[i] -= 1
-        self.offsets[i + 1 :] -= 1
-        if self.enum[i] == 0:
-            self.sindex = np.delete(self.sindex, i)
-            self.enum = np.delete(self.enum, i)
-            self.offsets = np.delete(self.offsets, i + 1)
+
+    def update_features(
+        self,
+        vertices: np.ndarray,
+        snapshots: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Bulk feature-version upsert: overwrite existing ``(vertex,
+        snapshot)`` versions in place, splice the rest in one pass.  A
+        ``(vertex, snapshot)`` repeated within the batch resolves to its
+        last value, matching sequential application."""
+        vertices = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        snapshots = np.atleast_1d(np.asarray(snapshots, dtype=np.int64))
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (vertices.size, self.selection.window.dim):
+            raise ValueError("feature dimension mismatch")
+        if vertices.size == 0:
+            return
+        k1 = np.int64(self.selection.num_snapshots + 1)
+        key = vertices * k1 + snapshots
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        last = np.empty(skey.size, dtype=bool)
+        last[-1] = True
+        np.not_equal(skey[1:], skey[:-1], out=last[:-1])
+        sel = order[last]  # unique keys ascending, last occurrence wins
+        v_u, k_u, val_u = vertices[sel], snapshots[sel], values[sel]
+        g = self.fv_vertex * k1 + self.fv_start
+        pos = np.searchsorted(g, v_u * k1 + k_u)
+        if g.size:
+            exists = (pos < g.size) & (g[np.minimum(pos, g.size - 1)] == v_u * k1 + k_u)
+        else:
+            exists = np.zeros(v_u.size, dtype=bool)
+        if bool(exists.any()):
+            self.feature_table[pos[exists]] = val_u[exists]
+        miss = ~exists
+        if not bool(miss.any()):
+            return  # pure overwrites: no index rebuild, like the scalar path
+        ip = pos[miss]
+        self.fv_vertex = np.insert(self.fv_vertex, ip, v_u[miss])
+        self.fv_start = np.insert(self.fv_start, ip, k_u[miss])
+        self.feature_table = np.insert(self.feature_table, ip, val_u[miss], axis=0)
+        self.mutation_allocs += 3
+        self._fv_vertices, self._fv_ptr = np.unique(self.fv_vertex, return_index=True)
         self._sanitize()
-        return True
 
     def update_feature(self, vertex: int, snapshot: int, value: np.ndarray) -> None:
         """Record a new feature version for ``vertex`` starting at
@@ -237,24 +334,8 @@ class OCSRStorage(MultiSnapshotStorage):
         value = np.asarray(value, dtype=np.float32)
         if value.shape != (self.selection.window.dim,):
             raise ValueError("feature dimension mismatch")
-        i = int(np.searchsorted(self._fv_vertices, vertex))
-        if i < len(self._fv_vertices) and self._fv_vertices[i] == vertex:
-            start = int(self._fv_ptr[i])
-            stop = (
-                int(self._fv_ptr[i + 1])
-                if i + 1 < len(self._fv_ptr)
-                else len(self.fv_vertex)
-            )
-            starts = self.fv_start[start:stop]
-            j = int(np.searchsorted(starts, snapshot))
-            if j < len(starts) and starts[j] == snapshot:
-                self.feature_table[start + j] = value
-                return
-            pos = start + j
-        else:
-            pos = int(np.searchsorted(self.fv_vertex, vertex))
-        self.fv_vertex = np.insert(self.fv_vertex, pos, vertex)
-        self.fv_start = np.insert(self.fv_start, pos, snapshot)
-        self.feature_table = np.insert(self.feature_table, pos, value, axis=0)
-        self._fv_vertices, self._fv_ptr = np.unique(self.fv_vertex, return_index=True)
-        self._sanitize()
+        self.update_features(
+            np.array([vertex], dtype=np.int64),
+            np.array([snapshot], dtype=np.int64),
+            value[None, :],
+        )

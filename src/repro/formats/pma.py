@@ -150,11 +150,46 @@ class PackedMemoryArray:
         self._rebalance_after(slot if slot < self.capacity else self.capacity - 1)
         return True
 
+    def bulk_load(self, keys: np.ndarray, payloads: np.ndarray | None = None) -> None:
+        """Load sorted unique keys into an *empty* PMA with one even
+        spread — O(n) instead of the O(n log² n) of repeated inserts.
+
+        Capacity grows by doubling until the root density bound holds, so
+        the resulting capacity (hence storage and search cost) is
+        identical to what the same keys inserted one by one produce.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if self.num_items:
+            raise ValueError("bulk_load requires an empty PMA")
+        if keys.size and not bool(np.all(np.diff(keys) > 0)):
+            raise ValueError("bulk_load keys must be strictly increasing")
+        if payloads is None:
+            payloads = np.zeros(keys.size, dtype=np.int64)
+        payloads = np.asarray(payloads, dtype=np.int64)
+        if payloads.shape != keys.shape:
+            raise ValueError("payloads must match keys")
+        # Sequential inserts double when the pre-insert count hits the
+        # root bound, i.e. while (m - 1) >= int(cap * ROOT_MAX); match it
+        # exactly so bulk and sequential loads end at the same capacity.
+        cap = self.capacity
+        while keys.size > int(cap * self.ROOT_MAX):  # repro: noqa R006 — O(log) capacity doubling, not per-element
+            cap *= 2
+        if cap != self.capacity:
+            self._alloc(cap)
+        if keys.size:
+            positions = (
+                np.arange(keys.size, dtype=np.int64) * self.capacity // keys.size
+            )
+            self.keys[positions] = keys
+            self.payload[positions] = payloads
+            self.moved_slots += int(keys.size)
+        self.num_items = int(keys.size)
+
     def _insert_with_shift(self, slot: int, key: int, payload: int) -> None:
         """Shift the run of occupied slots right (or left) by one to open
         ``slot``, counting moved words."""
         right = slot
-        while right < self.capacity and self.keys[right] != EMPTY:
+        while right < self.capacity and self.keys[right] != EMPTY:  # repro: noqa R006 — amortised single-insert shift scan (bulk path avoids it)
             right += 1
         if right < self.capacity:
             n = right - slot
@@ -165,7 +200,7 @@ class PackedMemoryArray:
             self.payload[slot] = payload
             return
         left = slot - 1
-        while left >= 0 and self.keys[left] != EMPTY:
+        while left >= 0 and self.keys[left] != EMPTY:  # repro: noqa R006 — amortised single-insert shift scan (bulk path avoids it)
             left -= 1
         if left < 0:  # pragma: no cover - prevented by root-density resize
             raise RuntimeError("PMA full despite density bound")
@@ -275,14 +310,12 @@ class PMAStorage(MultiSnapshotStorage):
         np.bitwise_or.at(bitmaps, inv, bits)
         # size for a ~0.6 steady-state fill (the PMA space/update trade-off)
         self.pma = PackedMemoryArray(capacity=max(8, int(len(uniq) / 0.6)))
-        for k, b in zip(uniq.tolist(), bitmaps.tolist()):
-            self.pma.insert(k, b)
-        versions = selection.feature_versions()
-        self._num_feature_rows = sum(len(v) for v in versions.values())
-        self._num_touched_vertices = len(versions)
-        self._num_changed_vertices = sum(
-            1 for v in versions.values() if len(v) > 1
-        )
+        self.pma.bulk_load(uniq, bitmaps)
+        fv_vertex, _ = selection.feature_version_arrays()
+        counts = np.unique(fv_vertex, return_counts=True)[1]
+        self._num_feature_rows = int(counts.sum())
+        self._num_touched_vertices = int(counts.size)
+        self._num_changed_vertices = int((counts > 1).sum())
 
     # ------------------------------------------------------------------
     def gather(self, source: int) -> tuple[np.ndarray, np.ndarray]:
@@ -290,17 +323,18 @@ class PMAStorage(MultiSnapshotStorage):
         ks, ps = self.pma.items()
         lo = int(np.searchsorted(ks, source * np.int64(n)))
         hi = int(np.searchsorted(ks, (source + 1) * np.int64(n)))
-        tgts, tss = [], []
-        for k, b in zip(ks[lo:hi].tolist(), ps[lo:hi].tolist()):
-            t = k % n
-            for s in range(self.selection.num_snapshots):
-                if b >> s & 1:
-                    tgts.append(t)
-                    tss.append(s)
-        if not tgts:
+        if hi == lo:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        out = np.array(sorted(zip(tss, tgts)), dtype=np.int64)
-        return out[:, 1], out[:, 0]
+        # expand the bitmaps: one (target, snapshot) pair per set bit, in
+        # (snapshot, target) order like the per-bit walk produced
+        bits = (
+            ps[lo:hi, None] >> np.arange(self.selection.num_snapshots)
+        ) & np.int64(1)
+        row, snap = np.nonzero(bits)
+        tgts = (ks[lo:hi] % n)[row]
+        tss = snap.astype(np.int64)
+        order = np.lexsort((tgts, tss))
+        return tgts[order], tss[order]
 
     def storage_bytes(self) -> int:
         dim = self.selection.window.dim
@@ -326,20 +360,25 @@ class PMAStorage(MultiSnapshotStorage):
         scan; features via one pointer indirection per distinct row."""
         cost = AccessCost()
         dim = self.selection.window.dim
-        n = self.selection.window.num_vertices
-        ks, ps = self.pma.items()
+        n = np.int64(self.selection.window.num_vertices)
+        ks, _ = self.pma.items()
         fill = max(self.pma.num_items / max(self.pma.capacity, 1), 0.25)
-        for s in self.selection.sources.tolist():
-            lo = int(np.searchsorted(ks, s * np.int64(n)))
-            hi = int(np.searchsorted(ks, (s + 1) * np.int64(n)))
-            run = hi - lo
-            cost.add(
-                randoms=self.pma.search_cost_randoms(),
-                words=int(3 * run / fill),  # key+bitmap slots incl. gaps
-            )
-            # feature rows: ~one deduplicated row per distinct target plus
-            # the source's own; each is reached through a pointer
-            # indirection (random) because the PMA feature store is not
-            # laid out in traversal order.
-            cost.add(randoms=run + 1, words=(run + 1) * dim)
+        srcs = self.selection.sources
+        run = (
+            np.searchsorted(ks, (srcs + 1) * n) - np.searchsorted(ks, srcs * n)
+        ).astype(np.int64)
+        # key+bitmap slots incl. gaps; per-run float-to-int truncation
+        # kept so totals match the per-source accumulation exactly
+        cost.add(
+            randoms=self.pma.search_cost_randoms() * srcs.size,
+            words=int((3.0 * run / fill).astype(np.int64).sum()),
+        )
+        # feature rows: ~one deduplicated row per distinct target plus
+        # the source's own; each is reached through a pointer
+        # indirection (random) because the PMA feature store is not
+        # laid out in traversal order.
+        cost.add(
+            randoms=int((run + 1).sum()),
+            words=int(((run + 1) * dim).sum()),
+        )
         return cost

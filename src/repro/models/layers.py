@@ -39,6 +39,10 @@ class GCNLayer:
     bias: np.ndarray
     activation: str = "relu"
 
+    def __post_init__(self) -> None:
+        # bind the activation callable once; forward paths are hot
+        self.act = ACTIVATIONS[self.activation]
+
     @classmethod
     def create(
         cls,
@@ -77,12 +81,11 @@ class GCNLayer:
         """
         if x.shape[1] != self.in_dim:
             raise ValueError(f"input width {x.shape[1]} != layer in_dim {self.in_dim}")
-        act = ACTIVATIONS[self.activation]
         if self.out_dim < self.in_dim:
             h = snap.aggregate(self.combine(x))
         else:
             h = self.combine(snap.aggregate(x))
-        return act(h).astype(np.float32, copy=False)
+        return self.act(h)
 
     def flops(self, num_vertices: int, num_edges: int) -> int:
         """MAC count of one forward pass (aggregation + combination)."""
@@ -119,6 +122,37 @@ class GCNStack:
         for layer in self.layers:
             h = layer.forward(snap, h)
         return h
+
+    def forward_window(
+        self, snaps: list[CSRSnapshot], xs: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Run every layer over a whole window of snapshots at once.
+
+        The elementwise activation runs once per layer on the stacked
+        ``(K*n, d)`` block — ufuncs are row-independent, so this is
+        bit-identical to K per-snapshot calls.  The combine deliberately
+        stays at per-snapshot shape: BLAS gemm rounding depends on the
+        row count, so a stacked ``(K*n, d) @ W`` would *not* reproduce
+        the per-snapshot bits and engine outputs must not depend on how
+        snapshots are windowed.
+        """
+        K = len(snaps)
+        hs = list(xs)
+        for layer in self.layers:
+            if any(h.shape[1] != layer.in_dim for h in hs):
+                raise ValueError(
+                    f"input width does not match layer in_dim {layer.in_dim}"
+                )
+            if layer.out_dim < layer.in_dim:
+                outs = [
+                    s.aggregate(layer.combine(h)) for s, h in zip(snaps, hs)
+                ]
+            else:
+                outs = [
+                    layer.combine(s.aggregate(h)) for s, h in zip(snaps, hs)
+                ]
+            hs = np.split(layer.act(np.concatenate(outs, axis=0)), K)
+        return [np.ascontiguousarray(h) for h in hs]
 
     def flops(self, num_vertices: int, num_edges: int) -> int:
         return sum(l.flops(num_vertices, num_edges) for l in self.layers)

@@ -125,8 +125,6 @@ class LSTMCell(RecurrentCell):
         o = sigmoid(z[:, 3 * d :])
         c = f * state.c + i * g
         h = o * tanh(c)
-        h = h.astype(np.float32, copy=False)
-        c = c.astype(np.float32, copy=False)
         return h, LSTMState(h, c)
 
     def flops_per_vertex(self) -> int:
@@ -162,9 +160,7 @@ class ElmanCell(RecurrentCell):
         return GRUState(np.zeros((num_vertices, self.hidden_dim), dtype=np.float32))
 
     def step(self, x: np.ndarray, state: GRUState) -> tuple[np.ndarray, GRUState]:
-        h = np.tanh(x @ self.w_x + state.h @ self.w_h + self.bias).astype(
-            np.float32, copy=False
-        )
+        h = np.tanh(x @ self.w_x + state.h @ self.w_h + self.bias)
         return h, GRUState(h)
 
     def flops_per_vertex(self) -> int:
@@ -240,7 +236,7 @@ class GRUCell(RecurrentCell):
         r = sigmoid(zx[:, :d] + zh[:, :d])
         z = sigmoid(zx[:, d : 2 * d] + zh[:, d : 2 * d])
         n = tanh(zx[:, 2 * d :] + r * zh[:, 2 * d :])
-        h = ((1.0 - z) * n + z * state.h).astype(np.float32, copy=False)
+        h = (1.0 - z) * n + z * state.h
         return h, GRUState(h)
 
     def flops_per_vertex(self) -> int:

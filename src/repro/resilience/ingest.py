@@ -25,7 +25,14 @@ import numpy as np
 
 from ..engine.metrics import ExecutionMetrics
 from ..graphs.snapshot import CSRSnapshot
-from ..graphs.updates import UpdateKind, apply_events, event_violation
+from ..graphs.updates import (
+    UpdateKind,
+    _decode_events,
+    _decoded_violation,
+    _edge_keys_sorted,
+    apply_events,
+    event_violation,
+)
 from .faults import TransientStorageError
 
 __all__ = [
@@ -152,15 +159,24 @@ class GuardedIngest:
         self, snap: CSRSnapshot, events, *, step: int = 0
     ) -> tuple[list, list]:
         """Split ``events`` into (clean, quarantined) against ``snap``."""
+        # Fast path: the batched validator proves the whole batch clean
+        # without replaying it event by event.  Any anomaly — a malformed
+        # payload or any strict-replay violation — drops to the exact
+        # sequential walk below, which dead-letters poison events in
+        # arrival order with the same reasons as before.
+        events = list(events)
+        dec = _decode_events(events, snap.num_vertices, snap.dim)
+        if dec is not None and not _decoded_violation(
+            snap, dec, _edge_keys_sorted(snap)
+        ):
+            return events, []
         n = snap.num_vertices
         present = snap.present.copy()
-        keys: set[int] = set()
         src = np.repeat(np.arange(n, dtype=np.int64), snap.degrees)
-        for k in (src * n + snap.indices.astype(np.int64)).tolist():
-            keys.add(int(k))
+        keys = set((src * n + snap.indices.astype(np.int64)).tolist())
         clean: list = []
         rejected: list = []
-        for ev in events:
+        for ev in events:  # repro: noqa R006 — slow path, exact DLQ order
             reason = event_violation(
                 ev,
                 num_vertices=n,

@@ -72,18 +72,28 @@ class CondensedDelta:
     def expand(self) -> np.ndarray:
         """Reconstruct the sparse delta matrix (tests / verification)."""
         out = np.zeros(self.dense_shape, dtype=np.float32)
-        for r, cols, vals in zip(self.rows.tolist(), self.addresses, self.values):
-            out[r, cols] = vals
+        if len(self.rows):
+            counts = [len(a) for a in self.addresses]
+            rr = np.repeat(self.rows, counts)
+            out[rr, np.concatenate(self.addresses)] = np.concatenate(self.values)
         return out
 
 
 def condense(delta: np.ndarray) -> CondensedDelta:
-    """Multi-level zero-value filtering: mask generation + packing."""
+    """Multi-level zero-value filtering: mask generation + packing.
+
+    One ``nonzero`` pass packs every row at once; row-major order means
+    the flattened columns/values split cleanly into per-row arrays.
+    """
     mask = delta != 0.0
-    row_has = mask.any(axis=1)
-    rows = np.flatnonzero(row_has)
-    addresses = [np.flatnonzero(mask[r]) for r in rows.tolist()]
-    values = [delta[r, mask[r]] for r in rows.tolist()]
+    rows = np.flatnonzero(mask.any(axis=1))
+    if rows.size == 0:
+        return CondensedDelta(rows, [], [], delta.shape)
+    sub = mask[rows]
+    r_nz, c_nz = np.nonzero(sub)
+    splits = np.cumsum(np.bincount(r_nz, minlength=rows.size))[:-1]
+    addresses = np.split(c_nz.astype(np.int64), splits)
+    values = np.split(delta[rows][sub], splits)
     return CondensedDelta(rows, addresses, values, delta.shape)
 
 

@@ -1,0 +1,46 @@
+"""R006 fixture: per-element loops in a vectorised hot path.
+
+Line numbers are pinned by tests/check/test_rules.py — edit carefully.
+"""
+
+import numpy as np
+
+__all__ = ["walk", "scan", "drain", "fine"]
+
+
+def walk(vertices, edges):
+    total = 0
+    for v in vertices:                       # line 13: hot target+iter
+        total += v
+    for i, (s, d) in enumerate(edges):       # line 15: hot iterable
+        total += s + d + i
+    for x in vertices.tolist():              # line 17: hot + tolist
+        total += x
+    return total
+
+
+def scan(arr):
+    out = []
+    for row in arr.tolist():                 # line 24: tolist escape hatch
+        out.append(row)
+    return out
+
+
+def drain(keys):
+    n = 0
+    while len(keys) > 0:                     # line 31: hot while-test
+        keys = keys[1:]
+        n += 1
+    for v in keys:  # repro: noqa R006 — suppressed on purpose (line 34)
+        n += v
+    return n
+
+
+def fine(snapshots, layers):
+    # cold loops: no hot noun, no tolist — never flagged
+    acc = 0.0
+    for snap in snapshots:
+        for layer in layers:
+            acc += float(np.sum(layer)) + float(np.sum(snap))
+    good = [k * 2 for k in range(4)]  # comprehensions are exempt
+    return acc, good

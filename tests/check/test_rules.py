@@ -23,7 +23,7 @@ def findings_for(relpath: str, code: str):
 
 
 def test_registry_has_all_rules():
-    assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005"]
+    assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
 
 
 def test_r001_determinism_findings():
@@ -108,6 +108,40 @@ def test_r005_only_fires_under_validation_paths():
         copy.unlink()
 
 
+def test_r006_hot_path_loop_findings():
+    path = "formats/bad_hotpath.py"
+    assert findings_for(path, "R006") == {
+        (path, 13),  # for v in vertices
+        (path, 15),  # for ... in enumerate(edges)
+        (path, 17),  # for x in vertices.tolist()
+        (path, 24),  # for row in arr.tolist()
+        (path, 31),  # while len(keys) > 0
+        # line 34 carries `# repro: noqa R006`; cold loops in fine() and
+        # the comprehension are never flagged
+    }
+
+
+def test_r006_only_fires_under_hot_paths():
+    src = (FIXTURES / "formats" / "bad_hotpath.py").read_text()
+    copy = FIXTURES / "relocated_hotpath.py"
+    copy.write_text(src)
+    try:
+        assert findings_for("relocated_hotpath.py", "R006") == set()
+    finally:
+        copy.unlink()
+
+
+def test_r006_message_names_the_hot_noun():
+    found = scan_paths(
+        [FIXTURES / "formats" / "bad_hotpath.py"],
+        config=CheckConfig(), select=["R006"], root=FIXTURES,
+    )
+    by_line = {f.line: f.message for f in found}
+    assert "'vertices'" in by_line[13]
+    assert "tolist" in by_line[24]
+    assert "'keys'" in by_line[31]
+
+
 def test_clean_fixture_has_no_findings():
     found = scan_paths(
         [FIXTURES / "clean.py"], config=CheckConfig(), root=FIXTURES
@@ -190,7 +224,7 @@ def test_cli_list_rules(capsys):
 
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("R001", "R002", "R003", "R004", "R005"):
+    for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
         assert code in out
 
 
