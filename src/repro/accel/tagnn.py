@@ -70,10 +70,13 @@ class TaGNNSimulator:
         engine_result: EngineResult | None = None,
         workload: WorkloadStats | None = None,
         hbm: HBMModel | None = None,
+        plan=None,
     ) -> SimulationReport:
         # ``hbm`` overrides the config's memory model; the resilience
         # fault injector passes a wrapper that raises transient storage
-        # errors on selected requests.
+        # errors on selected requests.  ``plan`` is an optional adaptive
+        # :class:`~repro.adaptive.plan.ExecutionPlan` whose dataflow hint
+        # overrides the configured GSPM partition strategy.
         cfg = self.config
         if engine_result is None:
             engine_result = self.run_engine(model, graph)
@@ -85,7 +88,13 @@ class TaGNNSimulator:
 
         # --- off-chip traffic -------------------------------------------
         words, randoms, gspm_windows = self._offchip_traffic(
-            model, graph, workload, metrics
+            model,
+            graph,
+            workload,
+            metrics,
+            partition_strategy=(
+                plan.partition_strategy if plan is not None else None
+            ),
         )
         hbm_cycles = hbm.cycles(words=words) + (
             randoms * _RANDOM_NS * 1e-9 * cfg.frequency_mhz * 1e6
@@ -179,16 +188,29 @@ class TaGNNSimulator:
                 "imbalance": imbalance,
                 "utilization": min(1.0, dcu_cycles / total) if total else 0.0,
                 "skip_ratio": metrics.skip_ratio(),
+                "partition_strategy": (
+                    plan.partition_strategy
+                    if plan is not None
+                    else cfg.partition_strategy
+                ),
             },
         )
 
     # ------------------------------------------------------------------
     def _offchip_traffic(
-        self, model, graph, workload: WorkloadStats, metrics
+        self,
+        model,
+        graph,
+        workload: WorkloadStats,
+        metrics,
+        partition_strategy: str | None = None,
     ) -> tuple[float, float, int]:
         """Off-chip (words, random accesses, windows that needed GSPM
-        partitioning) under the configured loader."""
+        partitioning) under the configured loader.  ``partition_strategy``
+        overrides the config's GSPM strategy (adaptive plans feed their
+        dataflow hint through here)."""
         cfg = self.config
+        strategy = partition_strategy or cfg.partition_strategy
         dim = graph.dim
         weight_words = sum(
             l.weight.size + l.bias.size for l in model.gnn.layers
@@ -231,7 +253,7 @@ class TaGNNSimulator:
                     start, min(cfg.window_size, graph.num_snapshots - start)
                 )
                 plan = GSPM(win, budget_words=budget).plan(
-                    PartitionStrategy(cfg.partition_strategy)
+                    PartitionStrategy(strategy)
                 )
                 words += plan.extra_words(dim)
         words += metrics.output_words

@@ -1,0 +1,345 @@
+"""The per-window execution planner.
+
+:class:`AdaptivePlanner` turns a :class:`WindowProfile` into an
+:class:`ExecutionPlan`:
+
+* **kernel** — argmin of the cost model's EWMA-refined per-kernel
+  seconds, with optimistic exploration: a kernel that has never run and
+  whose *predicted* cost is within ``explore_margin`` of the best gets
+  one shot, so online refinement has data for every plausible candidate.
+* **storage** — argmin of the modeled scan cycles (a pure cost decision;
+  all formats hold identical content).
+* **thresholds** — :math:`(\\theta_s, \\theta_e)` interpolated between
+  the paper's defaults and the configured aggressive bounds by an
+  *aggressiveness* scalar ``a ∈ [0, 1]``.  ``a`` moves under a
+  drift-probe controller: the engine periodically replays a window at
+  the default thresholds (via carry-state checkpoint/rollback) and
+  reports the relative output divergence; drift comfortably under the
+  budget raises ``a``, drift over budget slashes it.  The budget is a
+  hard configuration knob — auto-tuning can never push divergence past
+  it unnoticed, because the probes that raise ``a`` are the same
+  mechanism that measures the divergence.
+* **dataflow** — a partition-strategy hint for the cycle simulator
+  (skewed degree distributions want load-balanced partitions; mostly
+  quiet windows keep locality).
+
+The planner is deliberately *stateful across windows* (EWMA costs,
+exploration history, aggressiveness) and deliberately *stateless within
+one* — ``plan()`` is a pure function of the profile and the accumulated
+statistics, so a plan can be recomputed and explained offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..skipping.policy import SkipThresholds
+from .costmodel import CostModel
+from .plan import ExecutionPlan, KernelChoice, StorageChoice
+from .profile import WindowProfile
+
+__all__ = ["AdaptiveConfig", "AdaptivePlanner", "PlanRecord", "relative_drift"]
+
+_DEFAULTS = SkipThresholds()
+
+
+def relative_drift(baseline: list, outputs: list) -> float:
+    """Relative L1 divergence between two output trajectories — the
+    quantity the drift budget bounds (tuned vs default-threshold run of
+    the *same* window from the *same* carried state)."""
+    num = 0.0
+    den = 0.0
+    for a, b in zip(baseline, outputs):
+        num += float(np.abs(np.asarray(a) - np.asarray(b)).sum())
+        den += float(np.abs(np.asarray(a)).sum())
+    if den == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / den
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Planner knobs; everything defaults to the safe/productive middle."""
+
+    #: master switches per decision axis
+    choose_kernel: bool = True
+    choose_storage: bool = True
+    tune_thresholds: bool = True
+    #: hard bound on relative output divergence vs the default-threshold
+    #: pipeline (measured by drift probes; see :meth:`AdaptivePlanner.observe_drift`)
+    drift_budget: float = 0.02
+    #: probes run at exponentially-spaced planner windows (2, 4, 8, ...)
+    #: up to this many — overhead decays to zero on long streams
+    max_probes: int = 6
+    #: EWMA smoothing for observed kernel latencies
+    ewma_alpha: float = 0.3
+    #: an under-observed kernel is tried when predicted within this
+    #: margin of the best candidate
+    explore_margin: float = 0.25
+    #: observed-latency samples required per candidate before the EWMA is
+    #: trusted exclusively (one sample can be a cold-start outlier)
+    explore_min_obs: int = 2
+    #: aggressive ends of the threshold interpolation (defaults are the
+    #: paper's Fig. 14(a) optimum, these are the far ends the controller
+    #: may approach at a = 1)
+    theta_e_min: float = 0.2
+    theta_s_min: float = -0.8
+    #: controller step size for the aggressiveness scalar
+    aggressiveness_step: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.drift_budget < 0.0:
+            raise ValueError(f"drift_budget must be >= 0, got {self.drift_budget}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.explore_margin < 0.0:
+            raise ValueError("explore_margin must be >= 0")
+        if self.explore_min_obs < 0:
+            raise ValueError("explore_min_obs must be >= 0")
+        if not -1.0 <= self.theta_s_min <= _DEFAULTS.theta_s:
+            raise ValueError(
+                f"theta_s_min must lie in [-1, {_DEFAULTS.theta_s}],"
+                f" got {self.theta_s_min}"
+            )
+        if not _DEFAULTS.theta_e >= self.theta_e_min >= -1.0:
+            raise ValueError(
+                f"theta_e_min must lie in [-1, {_DEFAULTS.theta_e}],"
+                f" got {self.theta_e_min}"
+            )
+        if self.max_probes < 0:
+            raise ValueError("max_probes must be >= 0")
+
+
+@dataclass
+class PlanRecord:
+    """One planned window: the decision, its inputs, and what happened."""
+
+    window_index: int
+    plan: ExecutionPlan
+    profile: WindowProfile
+    observed_seconds: float | None = None
+    drift: float | None = None
+
+
+class AdaptivePlanner:
+    """Stateful per-window planner (share one instance per stream/run)."""
+
+    def __init__(
+        self,
+        config: AdaptiveConfig | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.config = config or AdaptiveConfig()
+        self.cost_model = cost_model or CostModel(
+            ewma_alpha=self.config.ewma_alpha
+        )
+        self.records: list[PlanRecord] = []
+        self.kernel_switches = 0
+        self.max_observed_drift = 0.0
+        self._window_index = 0
+        self._last_kernel: KernelChoice | None = None
+        self._aggressiveness = 0.0
+        self._probes_done = 0
+
+    # ------------------------------------------------------------------
+    # threshold controller
+    # ------------------------------------------------------------------
+    @property
+    def aggressiveness(self) -> float:
+        return self._aggressiveness
+
+    @property
+    def probes_done(self) -> int:
+        return self._probes_done
+
+    def thresholds(self) -> SkipThresholds:
+        """Current auto-tuned thresholds: defaults at a = 0, the
+        configured aggressive bounds at a = 1."""
+        if not self.config.tune_thresholds:
+            return _DEFAULTS
+        a = self._aggressiveness
+        return SkipThresholds(
+            theta_s=_DEFAULTS.theta_s
+            + a * (self.config.theta_s_min - _DEFAULTS.theta_s),
+            theta_e=_DEFAULTS.theta_e
+            + a * (self.config.theta_e_min - _DEFAULTS.theta_e),
+        )
+
+    def wants_probe(self) -> bool:
+        """True when the window just planned should be drift-probed
+        (call after :meth:`plan`).
+
+        Probes sit at exponentially-spaced planned-window counts
+        (2, 4, 8, …): early windows establish whether aggression is
+        safe, and the probe overhead (one extra window execution each)
+        decays to zero on long streams.
+        """
+        if not self.config.tune_thresholds:
+            return False
+        if self._probes_done >= self.config.max_probes:
+            return False
+        return self._window_index >= 2 ** (self._probes_done + 1)
+
+    def observe_drift(self, drift: float) -> None:
+        """Feed one probe's measured divergence into the controller."""
+        self._probes_done += 1
+        drift = float(drift)
+        self.max_observed_drift = max(self.max_observed_drift, drift)
+        if self.records:
+            self.records[-1].drift = drift
+        cfg = self.config
+        if drift > cfg.drift_budget:
+            # over budget: retreat hard — halve, then step down
+            self._aggressiveness = max(
+                0.0, self._aggressiveness / 2.0 - cfg.aggressiveness_step
+            )
+        elif drift <= 0.5 * cfg.drift_budget and cfg.drift_budget > 0.0:
+            # a zero budget means "never leave the defaults": the
+            # bootstrap probe's free 0.0 must not count as headroom
+            self._aggressiveness = min(
+                1.0, self._aggressiveness + cfg.aggressiveness_step
+            )
+        # drift in (budget/2, budget]: hold position
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, profile: WindowProfile) -> ExecutionPlan:
+        cfg = self.config
+        model = self.cost_model
+        reasons: list[str] = []
+
+        kernel_costs = {
+            k.value: model.kernel_seconds(profile, k) for k in KernelChoice
+        }
+        if cfg.choose_kernel:
+            best = min(KernelChoice, key=lambda k: kernel_costs[k.value])
+            kernel = best
+            # optimistic exploration: give near-best kernels a few
+            # observed windows each so one cold-start sample can't bury
+            # a candidate forever
+            bar = kernel_costs[best.value] * (1.0 + cfg.explore_margin)
+            for cand in sorted(
+                KernelChoice, key=lambda k: model.observation_count(k)
+            ):
+                if (
+                    model.observation_count(cand) < cfg.explore_min_obs
+                    and kernel_costs[cand.value] <= bar
+                    and cand is not best
+                ):
+                    kernel = cand
+                    reasons.append(
+                        f"exploring kernel {cand.value}"
+                        f" ({model.observation_count(cand)} observations,"
+                        f" predicted within {cfg.explore_margin:.0%} of best)"
+                    )
+                    break
+            else:
+                src = (
+                    "observed EWMA"
+                    if model.observed_seconds(kernel) is not None
+                    else "calibrated prediction"
+                )
+                reasons.append(f"kernel {kernel.value} minimises {src}")
+        else:
+            kernel = KernelChoice.DELTA_CONDENSED
+            reasons.append("kernel choice disabled: static delta-condensed")
+
+        storage_costs = {
+            s.value: model.predict_storage_cycles(profile, s)
+            for s in StorageChoice
+        }
+        if cfg.choose_storage:
+            storage = min(StorageChoice, key=lambda s: storage_costs[s.value])
+            reasons.append(
+                f"storage {storage.value} minimises modeled scan cycles"
+            )
+        else:
+            storage = StorageChoice.OCSR
+            reasons.append("storage choice disabled: static O-CSR")
+
+        thresholds = self.thresholds()
+        if cfg.tune_thresholds and self._aggressiveness > 0.0:
+            reasons.append(
+                f"thresholds at aggressiveness {self._aggressiveness:.2f}"
+                f" (max probed drift {self.max_observed_drift:.4f}"
+                f" <= budget {cfg.drift_budget})"
+            )
+
+        if profile.degree_cv > 1.0:
+            partition = "balanced"
+            reasons.append(
+                f"degree CV {profile.degree_cv:.2f} > 1: load-balanced"
+                " partitions"
+            )
+        elif profile.changed_frac < 0.5:
+            partition = "locality"
+            reasons.append(
+                f"changed fraction {profile.changed_frac:.2f} < 0.5:"
+                " locality partitions"
+            )
+        else:
+            partition = "range"
+            reasons.append("high churn, regular degrees: range partitions")
+
+        plan = ExecutionPlan(
+            kernel=kernel,
+            storage=storage,
+            thresholds=thresholds,
+            partition_strategy=partition,
+            expected_kernel_seconds=kernel_costs,
+            expected_storage_cycles=storage_costs,
+            reasons=tuple(reasons),
+        )
+        if self._last_kernel is not None and kernel is not self._last_kernel:
+            self.kernel_switches += 1
+        self._last_kernel = kernel
+        self.records.append(
+            PlanRecord(window_index=self._window_index, plan=plan, profile=profile)
+        )
+        self._window_index += 1
+        return plan
+
+    def observe(self, plan: ExecutionPlan, seconds: float) -> None:
+        """Fold one executed plan's realized latency into the model."""
+        self.cost_model.observe(plan.kernel, float(seconds))
+        for rec in reversed(self.records):
+            if rec.plan is plan:
+                rec.observed_seconds = float(seconds)
+                break
+
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """Multi-window audit: one line per planned window plus the
+        latest plan's full rationale."""
+        if not self.records:
+            return "no windows planned yet"
+        lines = []
+        for rec in self.records:
+            obs = (
+                f"{rec.observed_seconds * 1e3:8.2f} ms"
+                if rec.observed_seconds is not None
+                else "   (unobserved)"
+            )
+            drift = (
+                f"  drift={rec.drift:.4f}" if rec.drift is not None else ""
+            )
+            lines.append(
+                f"window {rec.window_index:3d}: {rec.plan.kernel.value:16s}"
+                f" {rec.plan.storage.value:5s}"
+                f" theta=({rec.plan.thresholds.theta_s:+.2f},"
+                f"{rec.plan.thresholds.theta_e:+.2f})"
+                f" {rec.plan.partition_strategy:8s} {obs}{drift}"
+            )
+        lines.append("")
+        lines.append("latest plan:")
+        lines.append(self.records[-1].plan.explain())
+        lines.append(
+            f"kernel switches: {self.kernel_switches};"
+            f" probes: {self._probes_done};"
+            f" max drift: {self.max_observed_drift:.5f}"
+            f" (budget {self.config.drift_budget})"
+        )
+        return "\n".join(lines)

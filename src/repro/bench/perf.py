@@ -12,6 +12,12 @@ so regressions show up as a diffable artefact:
 * **streaming window latency** — wall-clock p50/p95 of one
   :class:`~repro.engine.streaming.StreamingInference` window across the
   model zoo;
+* **adaptive planning** (opt-in, ``--adaptive``) — the same streaming
+  cells run twice: once static (PR-6 configuration) and once under a
+  shared :class:`~repro.adaptive.AdaptivePlanner` whose cost model is
+  calibrated on this machine and refined across repeats, with the plan
+  decisions (kernel histogram, tuned thresholds, probed drift) archived
+  next to the latencies;
 * **peak RSS** — high-water memory of the whole run.
 
 Methodology (see docs/performance.md): container wall-clocks are noisy,
@@ -51,13 +57,14 @@ __all__ = [
     "STREAM_CELLS_SMOKE",
     "bench_event_application",
     "bench_streaming",
+    "bench_streaming_adaptive",
     "render_delta_table",
     "render_perf_tables",
     "run_perf",
     "write_result",
 ]
 
-SCHEMA = "repro-perf/1"
+SCHEMA = "repro-perf/2"
 
 #: (dataset, scale, snapshots) cells for the event-application bench.
 #: FK at scale 2.5 is the 10k-vertex headline graph of the acceptance
@@ -92,6 +99,9 @@ class PerfConfig:
     smoke: bool = False
     repeats: int = 7
     seed: int = _SEED
+    #: also run the static-vs-adaptive streaming comparison (slower: each
+    #: streaming cell executes twice plus one calibration pass)
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -175,6 +185,25 @@ def bench_event_application(
 # ----------------------------------------------------------------------
 # streaming window latency
 # ----------------------------------------------------------------------
+def _timed_stream(model, graph, planner=None) -> list[float]:
+    """Window latencies of one full pass of ``graph`` through a fresh
+    :class:`StreamingInference` (optionally planner-driven)."""
+    from ..engine.streaming import StreamingInference
+
+    stream = StreamingInference(model, window_size=_WINDOW, planner=planner)
+    latencies: list[float] = []
+    for snap in graph:
+        t0 = time.perf_counter()
+        result = stream.push(snap)
+        dt = time.perf_counter() - t0
+        if result is not None:  # this push completed a window
+            latencies.append(dt)
+    t0 = time.perf_counter()
+    if stream.flush() is not None:
+        latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
 def bench_streaming(
     model_name: str,
     dataset: str,
@@ -185,24 +214,13 @@ def bench_streaming(
     seed: int,
 ) -> dict:
     """p50/p95 wall-clock of one streaming window, pooled over repeats."""
-    from ..engine.streaming import StreamingInference
-
     graph = load_dataset(
         dataset, scale=scale, num_snapshots=snapshots, seed=seed
     )
     model = make_model(model_name, graph.dim, _HIDDEN, seed=seed)
     latencies: list[float] = []
     for _ in range(repeats):
-        stream = StreamingInference(model, window_size=_WINDOW)
-        for snap in graph:
-            t0 = time.perf_counter()
-            result = stream.push(snap)
-            dt = time.perf_counter() - t0
-            if result is not None:  # this push completed a window
-                latencies.append(dt)
-        t0 = time.perf_counter()
-        if stream.flush() is not None:
-            latencies.append(time.perf_counter() - t0)
+        latencies.extend(_timed_stream(model, graph))
     return {
         "model": model_name,
         "dataset": dataset,
@@ -213,6 +231,89 @@ def bench_streaming(
         "p50_ms": _percentile(latencies, 50) * 1e3,
         "p95_ms": _percentile(latencies, 95) * 1e3,
         "best_ms": min(latencies) * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
+# adaptive vs static streaming
+# ----------------------------------------------------------------------
+def bench_streaming_adaptive(
+    model_name: str,
+    dataset: str,
+    scale: float,
+    snapshots: int,
+    *,
+    repeats: int,
+    seed: int,
+    table=None,
+) -> dict:
+    """Same-run static-vs-adaptive comparison of one streaming cell.
+
+    The static side is the PR-6 configuration (delta-condensed kernel,
+    default thresholds); the adaptive side shares one
+    :class:`AdaptivePlanner` across all repeats so its EWMA cost model
+    and threshold controller converge the way a long-lived stream
+    would.  ``table`` is an optional pre-computed
+    :class:`CalibrationTable` (the suite calibrates once and reuses it
+    for every cell).
+    """
+    from ..adaptive import AdaptivePlanner, CostModel
+
+    graph = load_dataset(
+        dataset, scale=scale, num_snapshots=snapshots, seed=seed
+    )
+    model = make_model(model_name, graph.dim, _HIDDEN, seed=seed)
+
+    static: list[float] = []
+    for _ in range(repeats):
+        static.extend(_timed_stream(model, graph))
+
+    planner = AdaptivePlanner(cost_model=CostModel(table))
+    adaptive: list[float] = []
+    rep_p50_ms: list[float] = []
+    for _ in range(repeats):
+        lats = _timed_stream(model, graph, planner=planner)
+        adaptive.extend(lats)
+        rep_p50_ms.append(_percentile(lats, 50) * 1e3)
+
+    kernels: dict[str, int] = {}
+    storages: dict[str, int] = {}
+    for rec in planner.records:
+        kernels[rec.plan.kernel.value] = kernels.get(rec.plan.kernel.value, 0) + 1
+        storages[rec.plan.storage.value] = (
+            storages.get(rec.plan.storage.value, 0) + 1
+        )
+    thr = planner.thresholds()
+    static_p50 = _percentile(static, 50)
+    adaptive_p50 = _percentile(adaptive, 50)
+    return {
+        "model": model_name,
+        "dataset": dataset,
+        "scale": scale,
+        "num_vertices": int(graph.num_vertices),
+        "window_size": _WINDOW,
+        "windows_timed": len(adaptive),
+        "static_p50_ms": static_p50 * 1e3,
+        "static_p95_ms": _percentile(static, 95) * 1e3,
+        "adaptive_p50_ms": adaptive_p50 * 1e3,
+        "adaptive_p95_ms": _percentile(adaptive, 95) * 1e3,
+        #: per-repeat trajectory — shows the convergence, not just the pool
+        "adaptive_rep_p50_ms": rep_p50_ms,
+        "speedup_p50": static_p50 / adaptive_p50 if adaptive_p50 else 0.0,
+        "plan": {
+            "kernels": kernels,
+            "storages": storages,
+            "partition": planner.records[-1].plan.partition_strategy
+            if planner.records
+            else None,
+            "thresholds": {"theta_s": thr.theta_s, "theta_e": thr.theta_e},
+            "aggressiveness": planner.aggressiveness,
+            "kernel_switches": planner.kernel_switches,
+            "probes": planner.probes_done,
+            "max_drift": planner.max_observed_drift,
+            "drift_budget": planner.config.drift_budget,
+            "cost_model": planner.cost_model.snapshot(),
+        },
     }
 
 
@@ -235,7 +336,7 @@ def run_perf(config: PerfConfig | None = None) -> dict:
         )
         for model, ds, scale, snaps in config.stream_cells
     ]
-    return {
+    result = {
         "schema": SCHEMA,
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "config": {
@@ -244,13 +345,36 @@ def run_perf(config: PerfConfig | None = None) -> dict:
             "seed": config.seed,
             "hidden_dim": _HIDDEN,
             "window_size": _WINDOW,
+            "adaptive": config.adaptive,
         },
         "event_application": events,
         "streaming": streaming,
-        "peak_rss_kb": int(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        ),
     }
+    if config.adaptive:
+        from dataclasses import asdict
+
+        from ..adaptive import calibrate_cost_model
+
+        table = calibrate_cost_model(seed=config.seed)
+        result["adaptive"] = {
+            "calibration": asdict(table),
+            "cells": [
+                bench_streaming_adaptive(
+                    model,
+                    ds,
+                    scale,
+                    snaps,
+                    repeats=reps,
+                    seed=config.seed,
+                    table=table,
+                )
+                for model, ds, scale, snaps in config.stream_cells
+            ],
+        }
+    result["peak_rss_kb"] = int(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
+    return result
 
 
 def write_result(result: dict, out_dir: Path | str = ".") -> Path:
@@ -300,9 +424,49 @@ def render_perf_tables(result: dict) -> str:
             ["model", "cell", "windows", "p50 (ms)", "p95 (ms)"],
             st_rows,
         ),
-        f"peak RSS: {result['peak_rss_kb'] / 1024:.1f} MiB"
-        f"  (schema {result['schema']}, created {result['created_utc']})\n",
     ]
+    if "adaptive" in result:
+        ad_rows = []
+        for a in result["adaptive"]["cells"]:
+            plan = a["plan"]
+            kernel = (
+                max(plan["kernels"], key=plan["kernels"].get)
+                if plan["kernels"]
+                else "?"
+            )
+            ad_rows.append(
+                [
+                    a["model"],
+                    f"{a['dataset']} x{a['scale']:g}",
+                    f"{a['static_p50_ms']:.2f}",
+                    f"{a['adaptive_p50_ms']:.2f}",
+                    f"{a['speedup_p50']:.2f}x",
+                    kernel,
+                    f"({plan['thresholds']['theta_s']:+.2f},"
+                    f"{plan['thresholds']['theta_e']:+.2f})",
+                    f"{plan['max_drift']:.4f}",
+                ]
+            )
+        parts.append(
+            render_table(
+                "Adaptive planning (static vs planner-driven streaming)",
+                [
+                    "model",
+                    "cell",
+                    "static p50",
+                    "adaptive p50",
+                    "speedup",
+                    "top kernel",
+                    "theta",
+                    "drift",
+                ],
+                ad_rows,
+            )
+        )
+    parts.append(
+        f"peak RSS: {result['peak_rss_kb'] / 1024:.1f} MiB"
+        f"  (schema {result['schema']}, created {result['created_utc']})\n"
+    )
     return "\n".join(parts)
 
 
@@ -339,6 +503,21 @@ def render_delta_table(current: dict, baseline: dict) -> str:
         rows.append(
             [
                 f"stream {s['model']}/{s['dataset']} p50",
+                f"{old:.2f}ms",
+                f"{cur:.2f}ms",
+                f"{100.0 * (cur - old) / old:+.1f}%" if old else "n/a",
+            ]
+        )
+    # adaptive cells compare against the *baseline's static* streaming
+    # rows: the planner's promise is to match-or-beat the PR-6 pipeline.
+    for a in current.get("adaptive", {}).get("cells", []):
+        b = base_st.get(st_key(a))
+        if b is None:
+            continue
+        cur, old = a["adaptive_p50_ms"], b["p50_ms"]
+        rows.append(
+            [
+                f"adaptive {a['model']}/{a['dataset']} p50",
                 f"{old:.2f}ms",
                 f"{cur:.2f}ms",
                 f"{100.0 * (cur - old) / old:+.1f}%" if old else "n/a",

@@ -23,8 +23,14 @@ Commands
     docs/static_analysis.md); exits non-zero on any finding.
 ``perf``
     Run the hot-path performance suite (event-application throughput,
-    streaming window latency, peak RSS) and archive a schema-versioned
-    ``BENCH_<timestamp>.json`` (see docs/performance.md).
+    streaming window latency, peak RSS; ``--adaptive`` adds the
+    static-vs-planner streaming comparison) and archive a
+    schema-versioned ``BENCH_<timestamp>.json`` (see
+    docs/performance.md).
+``plan``
+    Run one streaming cell under the adaptive planner and print the
+    per-window decision audit (``--explain`` adds the latest plan's full
+    rationale and the cost-model state).
 ``chaos``
     Run a seeded fault-injection campaign through the resilient serving
     path and print the incident report (see docs/resilience.md).
@@ -48,6 +54,7 @@ __all__ = [
     "cmd_datasets",
     "cmd_generate",
     "cmd_perf",
+    "cmd_plan",
     "cmd_simulate",
     "cmd_stats",
     "main",
@@ -112,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print tables only, skip the JSON artefact")
     perf.add_argument("--baseline", metavar="JSON",
                       help="prior BENCH_*.json to diff against (report-only)")
+    perf.add_argument("--adaptive", action="store_true",
+                      help="also run the static-vs-adaptive streaming "
+                           "comparison (calibrates the cost model first)")
+
+    pl = sub.add_parser("plan", help="adaptive planner decision audit")
+    _common(pl)
+    pl.add_argument("--model", default="T-GCN")
+    pl.add_argument("--window", type=int, default=4)
+    pl.add_argument("--repeats", type=int, default=2,
+                    help="stream passes sharing one planner (default 2)")
+    pl.add_argument("--calibrate", action="store_true",
+                    help="micro-benchmark the cost model on this machine "
+                         "instead of using the baked defaults")
+    pl.add_argument("--explain", action="store_true",
+                    help="print the per-window audit and the latest plan's "
+                         "full rationale")
 
     chk = sub.add_parser("check", help="run the static-analysis pass")
     chk.add_argument("paths", nargs="*", default=["src"],
@@ -317,6 +340,42 @@ def cmd_chaos(args) -> int:
     return 0 if complete else 1
 
 
+def cmd_plan(args) -> int:
+    from .adaptive import AdaptivePlanner, CostModel, calibrate_cost_model
+    from .engine.streaming import StreamingInference
+
+    g, m = _make(args)
+    table = calibrate_cost_model(seed=args.seed) if args.calibrate else None
+    planner = AdaptivePlanner(cost_model=CostModel(table))
+    for _ in range(args.repeats):
+        stream = StreamingInference(
+            m, window_size=args.window, planner=planner
+        )
+        for snap in g:
+            stream.push(snap)
+        stream.flush()
+    print(f"{args.model} on {args.dataset}: {len(planner.records)} windows "
+          f"planned across {args.repeats} passes "
+          f"(cost model: {planner.cost_model.table.source})")
+    if args.explain:
+        print(planner.explain())
+    else:
+        kernels: dict[str, int] = {}
+        for rec in planner.records:
+            k = rec.plan.kernel.value
+            kernels[k] = kernels.get(k, 0) + 1
+        thr = planner.thresholds()
+        for k, v in sorted(kernels.items(), key=lambda kv: -kv[1]):
+            print(f"  kernel {k:>16}: {v} windows")
+        print(f"  thresholds: ({thr.theta_s:+.2f}, {thr.theta_e:+.2f})"
+              f"  aggressiveness {planner.aggressiveness:.2f}")
+        print(f"  probes: {planner.probes_done}, max drift "
+              f"{planner.max_observed_drift:.5f} "
+              f"(budget {planner.config.drift_budget})")
+        print("  (use --explain for the per-window audit)")
+    return 0
+
+
 def cmd_perf(args) -> int:
     import json
 
@@ -328,7 +387,9 @@ def cmd_perf(args) -> int:
         write_result,
     )
 
-    config = PerfConfig(smoke=args.smoke, repeats=args.repeats)
+    config = PerfConfig(
+        smoke=args.smoke, repeats=args.repeats, adaptive=args.adaptive
+    )
     result = run_perf(config)
     print(render_perf_tables(result))
     if args.baseline:
@@ -361,6 +422,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
     "perf": cmd_perf,
+    "plan": cmd_plan,
     "check": cmd_check,
     "chaos": cmd_chaos,
 }

@@ -27,13 +27,16 @@ the bounded approximation the accuracy benches quantify.
 
 from __future__ import annotations
 
+import contextlib
+import time
+
 import numpy as np
 
 from ..analysis.classify import classify_window
 from ..analysis.similarity import similarity_scores
 from ..analysis.subgraph import extract_affected_subgraph, union_adjacency
 from ..graphs.dynamic import DynamicGraph
-from ..graphs.snapshot import CSRSnapshot
+from ..graphs.snapshot import CSRSnapshot, aggregate_kernel
 from ..models.base import DGNNModel
 from ..skipping.delta import DeltaCellCache
 from ..skipping.policy import CellUpdateMode, SkippingPolicy, SkipThresholds
@@ -41,6 +44,10 @@ from .metrics import ExecutionMetrics
 from .reference import EngineResult
 
 __all__ = ["ConcurrentEngine"]
+
+#: EWMA smoothing for the engine's running Condense-Unit sparsity probe
+#: (``delta_nnz`` over delta capacity), fed to the planner's profiles.
+_DELTA_PROBE_ALPHA = 0.3
 
 
 class ConcurrentEngine:
@@ -62,6 +69,11 @@ class ConcurrentEngine:
     enable_skipping:
         The ADSC half (similarity-gated cell updates).  Off = full cell
         update everywhere (ablation WO/ADSC) and the engine is exact.
+    planner:
+        Optional :class:`~repro.adaptive.AdaptivePlanner`.  When set,
+        each window is profiled and executed under the planner's
+        :class:`~repro.adaptive.ExecutionPlan` — kernel and threshold
+        choices per window — with realized latencies fed back online.
     """
 
     name = "TaGNN-S"
@@ -76,6 +88,7 @@ class ConcurrentEngine:
         enable_overlap: bool = True,
         enable_skipping: bool = True,
         refresh_each_window: bool = True,
+        planner=None,
     ):
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
@@ -89,6 +102,9 @@ class ConcurrentEngine:
         #: paper's per-batch recalculation that stops error accumulating
         #: over prolonged skipping (ablated by the design benches)
         self.refresh_each_window = refresh_each_window
+        self.planner = planner
+        #: running Condense-Unit sparsity probe (delta nnz over capacity)
+        self._delta_probe = 0.0
 
     # ------------------------------------------------------------------
     def run(self, graph: DynamicGraph) -> EngineResult:
@@ -114,6 +130,7 @@ class ConcurrentEngine:
         first_snapshot = True
 
         k = self.window_size
+        plans = []
         starts = list(range(0, graph.num_snapshots, k))
         for start in starts:
             size = min(k, graph.num_snapshots - start)
@@ -121,44 +138,132 @@ class ConcurrentEngine:
             if hasattr(self.model, "advance_window"):
                 self.model.advance_window(start // k)
             cls = classify_window(window)
-            subgraph = extract_affected_subgraph(window, cls)
+            plan = self.plan_window(m, window, cls)
+            if plan is not None:
+                plans.append(plan)
             classifications.append(cls)
-            self._account_overhead(m, window, subgraph)
+            self._account_overhead(
+                m, window, self._subgraph_vertices(window, cls, plan)
+            )
 
-            zs = self._gnn_window(m, window, cls)
+            base_modes = (m.cells_full, m.cells_delta, m.cells_skipped)
+            base_delta_nnz = m.delta_nnz
+            t0 = time.perf_counter()  # repro: noqa R001 — planner latency feedback, not simulated time
+            with self._plan_context(plan):
+                zs = self._gnn_window(m, window, cls)
 
-            for t, snap in enumerate(window):
-                z = zs[t]
-                # The first snapshot of every batch takes the full cell
-                # update: the paper "recalculates similarity scores for
-                # each vertex in the new batch, rather than reusing scores
-                # and skipping decisions" to stop error accumulating over
-                # prolonged skipping — a periodic state refresh is what
-                # bounds the drift (and what keeps Table 5's loss < 1%).
-                h_prev, state = self._rnn_step(
-                    m,
-                    snap,
-                    z,
-                    z_prev,
-                    snap_prev,
-                    state,
-                    cache,
-                    cls,
-                    h_prev,
-                    first=first_snapshot or (t == 0 and self.refresh_each_window),
-                    decisions=decisions,
-                )
-                outputs.append(h_prev.copy())
-                z_prev, snap_prev = z, snap
-                first_snapshot = False
-                m.snapshots_processed += 1
+                for t, snap in enumerate(window):
+                    z = zs[t]
+                    # The first snapshot of every batch takes the full cell
+                    # update: the paper "recalculates similarity scores for
+                    # each vertex in the new batch, rather than reusing scores
+                    # and skipping decisions" to stop error accumulating over
+                    # prolonged skipping — a periodic state refresh is what
+                    # bounds the drift (and what keeps Table 5's loss < 1%).
+                    h_prev, state = self._rnn_step(
+                        m,
+                        snap,
+                        z,
+                        z_prev,
+                        snap_prev,
+                        state,
+                        cache,
+                        cls,
+                        h_prev,
+                        first=first_snapshot
+                        or (t == 0 and self.refresh_each_window),
+                        decisions=decisions,
+                    )
+                    outputs.append(h_prev.copy())
+                    z_prev, snap_prev = z, snap
+                    first_snapshot = False
+                    m.snapshots_processed += 1
+            if plan is not None:
+                elapsed = time.perf_counter() - t0  # repro: noqa R001 — planner latency feedback
+                self.planner.observe(plan, elapsed)
+            m.record_window_modes(
+                m.cells_full - base_modes[0],
+                m.cells_delta - base_modes[1],
+                m.cells_skipped - base_modes[2],
+            )
+            self._update_delta_probe(
+                m.cells_delta - base_modes[1], m.delta_nnz - base_delta_nnz
+            )
             m.windows_processed += 1
 
-        return EngineResult(
-            outputs,
-            m,
-            extra={"decisions": decisions, "classifications": classifications},
+        extra = {"decisions": decisions, "classifications": classifications}
+        if self.planner is not None:
+            extra["plans"] = plans
+        return EngineResult(outputs, m, extra=extra)
+
+    # ------------------------------------------------------------------
+    # adaptive planning support (repro.adaptive)
+    # ------------------------------------------------------------------
+    def plan_window(self, m, window, cls):
+        """Profile the window and ask the planner for an
+        :class:`~repro.adaptive.ExecutionPlan` (None without a planner)."""
+        if self.planner is None:
+            return None
+        from ..adaptive import profile_window
+
+        profile = profile_window(
+            window, cls, self.model, delta_nnz_ratio=self._delta_probe
         )
+        prev_switches = self.planner.kernel_switches
+        plan = self.planner.plan(profile)
+        m.windows_planned += 1
+        m.plan_kernel_switches += self.planner.kernel_switches - prev_switches
+        return plan
+
+    @contextlib.contextmanager
+    def _plan_context(self, plan):
+        """Apply one plan's kernel + threshold choices for a window.
+
+        ``delta-condensed`` keeps the OADL changed-set path; the two full
+        recompute kernels disable overlap and differ only in the
+        aggregation kernel (scatter vs dense slots) — all three are
+        bit-identical by construction (tests/adaptive).
+        """
+        if plan is None:
+            yield
+            return
+        from ..adaptive import KernelChoice
+
+        prev_overlap = self.enable_overlap
+        prev_policy = self.policy
+        self.enable_overlap = plan.kernel is KernelChoice.DELTA_CONDENSED
+        self.policy = SkippingPolicy(plan.thresholds)
+        try:
+            if plan.kernel is KernelChoice.DENSE_GEMM:
+                with aggregate_kernel("dense"):
+                    yield
+            else:
+                yield
+        finally:
+            self.enable_overlap = prev_overlap
+            self.policy = prev_policy
+
+    def _subgraph_vertices(self, window, cls, plan) -> int:
+        """Affected-subgraph size for overhead accounting.
+
+        The DFS extraction only feeds the OADL changed-set path, so under
+        a full-recompute plan it is *skipped entirely* (a real saving the
+        planner prices in) and the changed-vertex count stands in for the
+        accounting."""
+        from ..adaptive import KernelChoice
+
+        if plan is not None and plan.kernel is not KernelChoice.DELTA_CONDENSED:
+            return int((cls.labels != 0).sum())
+        return int(extract_affected_subgraph(window, cls).num_vertices)
+
+    def _update_delta_probe(self, delta_cells: int, delta_nnz: int) -> None:
+        """Refresh the running Condense-Unit sparsity probe from one
+        window's delta counters (survivor nnz over delta capacity)."""
+        if delta_cells <= 0:
+            return
+        capacity = delta_cells * max(self.model.out_dim, 1)
+        ratio = min(1.0, delta_nnz / capacity)
+        self._delta_probe += _DELTA_PROBE_ALPHA * (ratio - self._delta_probe)
 
     # ------------------------------------------------------------------
     # GNN phase
@@ -371,6 +476,7 @@ class ConcurrentEngine:
             full_cost = len(delta_rows) * model.cell.flops_per_vertex() // 2
             delta_cost = packed.nnz * model.cell.w_x.shape[1]
             m.cells_delta += len(delta_rows)
+            m.delta_nnz += packed.nnz
             m.cell_macs += min(delta_cost, full_cost)
             m.cell_macs_saved += max(full_cost - delta_cost, 0)
         # skip rows + unaffected vertices: reuse previous output and state
@@ -384,17 +490,20 @@ class ConcurrentEngine:
         return h_out, new_state
 
     # ------------------------------------------------------------------
-    def _account_overhead(self, m, window, subgraph) -> None:
+    def _account_overhead(self, m, window, subgraph_vertices: int) -> None:
         """Runtime overhead of the topology analysis itself — the cost
         that makes TaGNN-S only modestly faster than PiPAD (Fig. 8(a))
-        and that the accelerator's MSDL pipelines absorb."""
+        and that the accelerator's MSDL pipelines absorb.
+
+        ``subgraph_vertices`` is the affected-subgraph vertex count (or
+        the changed-vertex estimate when a plan skipped the DFS)."""
         n = window.num_vertices
         e_total = sum(s.num_edges for s in window)
         # classification: feature compares + fingerprints + scatter
         m.overhead_ops += window.num_snapshots * n * window.dim
         m.overhead_ops += e_total
         # DFS traversal of the union adjacency
-        m.overhead_ops += int(subgraph.num_vertices) + e_total
+        m.overhead_ops += int(subgraph_vertices) + e_total
         # structure reads for the analysis
         m.structure_words += e_total + (n + 1) * window.num_snapshots
 

@@ -22,9 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 
-__all__ = ["ExecutionMetrics", "WORD_BYTES"]
+__all__ = ["ExecutionMetrics", "SCALAR_FIELDS", "WORD_BYTES"]
 
 WORD_BYTES = 4
+
+#: Scalar (int) counter fields — everything except the per-window lists.
+#: Serialisers (repro.resilience.checkpoint) iterate this instead of
+#: ``fields()`` so the list-valued trajectory fields get special casing.
+SCALAR_FIELDS: tuple[str, ...] = ()  # filled in after the dataclass below
 
 
 @dataclass
@@ -49,6 +54,16 @@ class ExecutionMetrics:
     cells_full: int = 0
     cells_delta: int = 0
     cells_skipped: int = 0
+    #: Condense-Unit output size: total surviving non-zeros across every
+    #: DELTA-mode partial update (the planner's delta-sparsity probe).
+    delta_nnz: int = 0
+
+    # --- per-window trajectory (one entry per processed window) ---------
+    #: ``(full, delta, skip)`` cell-update counts of each window, in
+    #: processing order — the single source of truth for planner
+    #: decisions and Fig-14-style sensitivity sweeps.  ``merge``
+    #: concatenates trajectories in argument order.
+    window_modes: list = field(default_factory=list)
 
     # --- bookkeeping ---------------------------------------------------
     snapshots_processed: int = 0
@@ -61,6 +76,11 @@ class ExecutionMetrics:
     dead_letter_events: int = 0  # poison events/snapshots dead-lettered
     checkpoints_taken: int = 0  # carry-state checkpoints captured
     restores: int = 0  # carry-state rollbacks after a fault
+
+    # --- adaptive execution (repro.adaptive) -----------------------------
+    windows_planned: int = 0  # windows executed under a planner decision
+    plan_kernel_switches: int = 0  # windows whose kernel differed from prior
+    drift_probes: int = 0  # exact-replay drift verifications run
 
     # ------------------------------------------------------------------
     @property
@@ -102,12 +122,39 @@ class ExecutionMetrics:
         }
 
     # ------------------------------------------------------------------
+    # per-window trajectory
+    # ------------------------------------------------------------------
+    def record_window_modes(self, full: int, delta: int, skip: int) -> None:
+        """Append one window's cell-update mode counts (engines call this
+        once per processed window, after the window's snapshots ran)."""
+        self.window_modes.append((int(full), int(delta), int(skip)))
+
+    def per_window_modes(self) -> list[dict[str, int]]:
+        """The trajectory as dicts — sensitivity sweeps read this."""
+        return [
+            {"full": f, "delta": d, "skip": s}
+            for f, d, s in self.window_modes
+        ]
+
+    # ------------------------------------------------------------------
     def merge(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
-        """Element-wise sum (combining windows or datasets)."""
+        """Element-wise sum; per-window trajectories concatenate in
+        argument order (combining windows or datasets)."""
         out = ExecutionMetrics()
         for f in fields(ExecutionMetrics):
             setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
         return out
 
-    def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(ExecutionMetrics)}
+    def as_dict(self) -> dict:
+        """Field mapping; list-valued fields come back as fresh copies so
+        ``ExecutionMetrics(**m.as_dict())`` never aliases ``m``."""
+        out = {}
+        for f in fields(ExecutionMetrics):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, list) else value
+        return out
+
+
+SCALAR_FIELDS = tuple(
+    f.name for f in fields(ExecutionMetrics) if f.type == "int"
+)

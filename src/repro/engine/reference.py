@@ -69,6 +69,7 @@ class ReferenceEngine:
                 self.model.advance_window(start // self.window_size)
             snaps = graph.snapshots[start : start + self.window_size]
             zs = self.model.gnn_forward_window(snaps)
+            base_full = m.cells_full
             for snap, z in zip(snaps, zs):
                 h, new_state = self.model.cell_step(z, state, snap)
                 # absent vertices are not computed: freeze their output
@@ -82,6 +83,9 @@ class ReferenceEngine:
                 state = new_state
                 outputs.append(h_out.copy())
                 self._account_snapshot(m, snap)
+            # conventional pattern: every present vertex takes the full
+            # cell update — the trajectory is all-FULL by construction
+            m.record_window_modes(m.cells_full - base_full, 0, 0)
         m.snapshots_processed = len(graph)
         self._account_redundancy(m, graph)
         return EngineResult(outputs, m)

@@ -55,6 +55,7 @@ class StreamingInference:
         window_size: int = 4,
         thresholds: SkipThresholds | None = None,
         enable_skipping: bool = True,
+        planner=None,
     ):
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
@@ -65,6 +66,7 @@ class StreamingInference:
             window_size=window_size,
             thresholds=thresholds,
             enable_skipping=enable_skipping,
+            planner=planner,
         )
         self._pending: list[CSRSnapshot] = []
         self._timestamp = 0
@@ -89,6 +91,11 @@ class StreamingInference:
     def metrics(self) -> ExecutionMetrics:
         """Aggregate counters over everything processed so far."""
         return self._metrics
+
+    @property
+    def planner(self):
+        """The adaptive planner driving this stream (None when static)."""
+        return self._engine.planner
 
     def push(self, snapshot: CSRSnapshot) -> StreamResult | None:
         """Append one snapshot; returns results when a window completes.
@@ -125,7 +132,6 @@ class StreamingInference:
     # ------------------------------------------------------------------
     def _process_window(self) -> StreamResult:
         from ..analysis.classify import classify_window
-        from ..analysis.subgraph import extract_affected_subgraph
         from ..models.rnn import IdentityCell
         from ..skipping.delta import DeltaCellCache
 
@@ -154,30 +160,43 @@ class StreamingInference:
 
         m = ExecutionMetrics()
         cls = classify_window(window)
-        subgraph = extract_affected_subgraph(window, cls)
-        engine._account_overhead(m, window, subgraph)
-        zs = engine._gnn_window(m, window, cls)
+        plan = engine.plan_window(m, window, cls)
 
-        outputs: list[np.ndarray] = []
-        decisions: list = []
-        for t, snap in enumerate(window):
-            self._h_prev, self._state = engine._rnn_step(
-                m,
-                snap,
-                zs[t],
-                self._z_prev,
-                self._snap_prev,
-                self._state,
-                self._cache,
+        # Drift probe: replay this window from the same carried state at
+        # the *default* thresholds, roll back, then run the tuned plan —
+        # the relative divergence between the two output sets is exactly
+        # the quantity the drift budget bounds.  While the controller is
+        # still at the defaults the divergence is zero by construction,
+        # so the probe is free — that zero is what bootstraps the
+        # aggressiveness ramp.
+        probe = plan is not None and engine.planner.wants_probe()
+        replay = probe and plan.thresholds != SkipThresholds()
+        baseline: list[np.ndarray] | None = None
+        if replay:
+            from dataclasses import replace as _dc_replace
+
+            carry = self.carry_state()
+            baseline = self._execute_window(
+                window,
                 cls,
-                self._h_prev,
-                first=self._first or (t == 0 and engine.refresh_each_window),
-                decisions=decisions,
+                _dc_replace(plan, thresholds=SkipThresholds()),
+                ExecutionMetrics(),
+                observe=False,
             )
-            outputs.append(self._h_prev.copy())
-            self._z_prev, self._snap_prev = zs[t], snap
-            self._first = False
-            m.snapshots_processed += 1
+            self.restore_carry(carry)
+
+        outputs = self._execute_window(window, cls, plan, m, observe=True)
+
+        if probe:
+            if replay:
+                from ..adaptive import relative_drift
+
+                drift = relative_drift(baseline, outputs)
+            else:
+                drift = 0.0
+            engine.planner.observe_drift(drift)
+            m.drift_probes += 1
+
         m.windows_processed += 1
         self._window_index += 1
         self._metrics = self._metrics.merge(m)
@@ -186,6 +205,62 @@ class StreamingInference:
             outputs=outputs,
             metrics=m,
         )
+
+    def _execute_window(
+        self,
+        window: DynamicGraph,
+        cls,
+        plan,
+        m: ExecutionMetrics,
+        *,
+        observe: bool,
+    ) -> list[np.ndarray]:
+        """Run one window under ``plan`` (or the static configuration
+        when ``plan`` is None), committing the carried stream state."""
+        import time
+
+        engine = self._engine
+        engine._account_overhead(
+            m, window, engine._subgraph_vertices(window, cls, plan)
+        )
+        base_modes = (m.cells_full, m.cells_delta, m.cells_skipped)
+        base_delta_nnz = m.delta_nnz
+        outputs: list[np.ndarray] = []
+        decisions: list = []
+        t0 = time.perf_counter()  # repro: noqa R001 — planner latency feedback, not simulated time
+        with engine._plan_context(plan):
+            zs = engine._gnn_window(m, window, cls)
+            for t, snap in enumerate(window):
+                self._h_prev, self._state = engine._rnn_step(
+                    m,
+                    snap,
+                    zs[t],
+                    self._z_prev,
+                    self._snap_prev,
+                    self._state,
+                    self._cache,
+                    cls,
+                    self._h_prev,
+                    first=self._first
+                    or (t == 0 and engine.refresh_each_window),
+                    decisions=decisions,
+                )
+                outputs.append(self._h_prev.copy())
+                self._z_prev, self._snap_prev = zs[t], snap
+                self._first = False
+                m.snapshots_processed += 1
+        if observe and plan is not None:
+            elapsed = time.perf_counter() - t0  # repro: noqa R001 — planner latency feedback
+            engine.planner.observe(plan, elapsed)
+        m.record_window_modes(
+            m.cells_full - base_modes[0],
+            m.cells_delta - base_modes[1],
+            m.cells_skipped - base_modes[2],
+        )
+        engine._update_delta_probe(
+            m.cells_delta - base_modes[1], m.delta_nnz - base_delta_nnz
+        )
+        return outputs
 
     # ------------------------------------------------------------------
     # carry-state checkpointing (repro.resilience.checkpoint)

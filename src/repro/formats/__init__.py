@@ -1,9 +1,11 @@
-"""Multi-snapshot storage formats: per-snapshot CSR, O-CSR, and PMA.
+"""Multi-snapshot storage formats: CSR, O-CSR, PMA, and dense bitmaps.
 
-These are the three formats the paper compares in Fig. 13(b).  All
-implement :class:`~repro.formats.base.MultiSnapshotStorage` over a
+CSR/O-CSR/PMA are the three formats the paper compares in Fig. 13(b);
+DENSE is the planner's fourth axis point (Dynasparse's dense end — see
+:mod:`repro.adaptive`).  All implement
+:class:`~repro.formats.base.MultiSnapshotStorage` over a
 :class:`~repro.formats.base.WindowSelection`, so they can be swapped
-freely inside the engines and benches.
+freely inside the engines, the planner, and the benches.
 """
 
 from .base import (
@@ -14,10 +16,12 @@ from .base import (
     WindowSelection,
 )
 from .csr import SnapshotCSRStorage
+from .dense import DenseWindowStorage
 from .ocsr import OCSRStorage
 from .pma import PackedMemoryArray, PMAStorage
 
 FORMATS = {
+    "DENSE": DenseWindowStorage,
     "CSR": SnapshotCSRStorage,
     "O-CSR": OCSRStorage,
     "PMA": PMAStorage,
@@ -29,6 +33,7 @@ __all__ = [
     "WindowSelection",
     "RANDOM_ACCESS_CYCLES",
     "WORDS_PER_CYCLE",
+    "DenseWindowStorage",
     "SnapshotCSRStorage",
     "OCSRStorage",
     "PackedMemoryArray",

@@ -1,0 +1,81 @@
+"""Dense window storage — adjacency bitmaps + a dense feature block.
+
+The fourth point of the adaptive planner's format axis (Dynasparse's
+"dense" end, PAPERS.md): each snapshot of the window stores the selected
+sources' full adjacency row as an ``n``-wide bitmap, and every touched
+vertex's feature row is materialised per snapshot in one rectangular
+block.  Nothing is pointer-chased — a scan is a single sequential stream
+of ``sources * n * K`` bits plus the feature rectangle — so on *small,
+dense* affected subgraphs the format beats every sparse layout, while on
+large sparse windows the ``n``-proportional footprint loses badly.  The
+cost model makes that trade-off explicit and the planner only chooses
+DENSE when the bitmap rectangle actually fits under the sparse formats'
+byte counts.
+
+Content-wise the format is interchangeable with CSR/O-CSR/PMA (same
+``gather`` contract over the same :class:`WindowSelection`; the
+equivalence property tests assert all four agree edge-for-edge), so a
+planner may flip a window between formats without touching results —
+bit-identity by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AccessCost, MultiSnapshotStorage, WindowSelection
+
+__all__ = ["DenseWindowStorage"]
+
+_WORD = 4  # bytes per id/feature word, matching the sibling formats
+
+
+class DenseWindowStorage(MultiSnapshotStorage):
+    """Per-snapshot adjacency bitmaps over the selected sources."""
+
+    name = "DENSE"
+
+    def __init__(self, selection: WindowSelection):
+        super().__init__(selection)
+        n = selection.window.num_vertices
+        K = selection.num_snapshots
+        srcs = selection.sources
+        #: map global vertex id -> bitmap row (selected sources only)
+        self._row_of = {int(v): i for i, v in enumerate(srcs.tolist())}
+        self._bitmap = np.zeros((K, len(srcs), n), dtype=bool)
+        e = selection.edges()
+        if e.size:
+            rows = np.searchsorted(srcs, e[:, 0])
+            self._bitmap[e[:, 2], rows, e[:, 1]] = True
+        #: vertices whose features the window touches (sources + targets)
+        self._touched = np.unique(np.concatenate([srcs, e[:, 1]])) if e.size else srcs
+
+    # ------------------------------------------------------------------
+    def gather(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        row = self._row_of.get(int(source))
+        if row is None:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        ts, tgt = np.nonzero(self._bitmap[:, row, :])
+        return tgt.astype(np.int64), ts.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Bitmaps are charged at one *bit* per cell (hardware layout);
+        features one dense row per touched vertex per snapshot."""
+        K, s, n = self._bitmap.shape
+        structure = (K * s * n + 7) // 8
+        features = K * len(self._touched) * self.selection.window.dim * _WORD
+        return structure + features
+
+    def scan_cost(self) -> AccessCost:
+        """One random access to open the block, then everything streams:
+        the whole bitmap rectangle (packed 32 cells/word) plus the dense
+        feature block."""
+        K, s, n = self._bitmap.shape
+        cost = AccessCost()
+        cost.add(randoms=1, words=(K * s * n + 31) // 32)
+        cost.add(
+            randoms=1,
+            words=K * len(self._touched) * self.selection.window.dim,
+        )
+        return cost

@@ -28,7 +28,8 @@ The key layout (format 1)::
 
     meta/{format,window_size,timestamp,window_index,first,
           num_vertices,num_pending,state_kind}
-    metrics/<field>            one int64 per ExecutionMetrics field
+    metrics/<field>            one int64 per scalar ExecutionMetrics field
+    metrics/window_modes       (W, 3) int64 per-window (full, delta, skip)
     state/h [, state/c]        recurrent state (by meta/state_kind)
     cache/{zx,zh,z_input}      similarity-cache pre-activations (optional)
     carry/{h_prev,z_prev}      last outputs / GNN result (optional)
@@ -40,7 +41,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..engine.metrics import ExecutionMetrics
+from ..engine.metrics import SCALAR_FIELDS, ExecutionMetrics
 from ..engine.streaming import StreamingInference
 from ..graphs.snapshot import CSRSnapshot
 from ..models.rnn import GRUState, LSTMState
@@ -91,8 +92,12 @@ def carry_to_arrays(carry: dict) -> dict:
         ),
         "meta/num_pending": np.int64(len(carry["pending"])),
     }
-    for name, value in carry["metrics"].as_dict().items():
-        arrays[f"metrics/{name}"] = np.int64(value)
+    metrics = carry["metrics"]
+    for name in SCALAR_FIELDS:
+        arrays[f"metrics/{name}"] = np.int64(getattr(metrics, name))
+    arrays["metrics/window_modes"] = np.asarray(
+        metrics.window_modes, dtype=np.int64
+    ).reshape(-1, 3)
     state = carry["state"]
     if state is None:
         arrays["meta/state_kind"] = np.str_("none")
@@ -138,10 +143,15 @@ def arrays_to_carry(data) -> dict:
     metrics = ExecutionMetrics(
         **{
             name: int(data[f"metrics/{name}"])
-            for name in ExecutionMetrics().as_dict()
+            for name in SCALAR_FIELDS
             if f"metrics/{name}" in keys
         }
     )
+    if "metrics/window_modes" in keys:
+        modes = np.asarray(data["metrics/window_modes"], dtype=np.int64)
+        metrics.window_modes = [
+            (int(f), int(d), int(s)) for f, d, s in modes.reshape(-1, 3)
+        ]
     state_kind = np.asarray(data["meta/state_kind"]).item()
     if state_kind == "none":
         state = None

@@ -63,16 +63,26 @@ class CondensedDelta:
 
     @property
     def nnz(self) -> int:
+        """Surviving non-zeros — the planner's delta-sparsity probe."""
         return int(sum(len(v) for v in self.values))
 
     def density(self) -> float:
-        total = self.dense_shape[0] * self.dense_shape[1]
-        return self.nnz / total if total else 0.0
+        """``nnz / (rows * cols)``; 0.0 for degenerate (zero-row or
+        zero-column) shapes instead of a division by zero."""
+        total = int(self.dense_shape[0]) * int(self.dense_shape[1])
+        if total <= 0:
+            return 0.0
+        return self.nnz / total
 
     def expand(self) -> np.ndarray:
-        """Reconstruct the sparse delta matrix (tests / verification)."""
+        """Reconstruct the sparse delta matrix (tests / verification).
+
+        Degenerate packings — zero-row ``dense_shape``, or row entries
+        whose address lists are all empty — expand to the all-zero
+        matrix without tripping numpy's empty-concatenate path.
+        """
         out = np.zeros(self.dense_shape, dtype=np.float32)
-        if len(self.rows):
+        if len(self.rows) and self.addresses and self.nnz:
             counts = [len(a) for a in self.addresses]
             rr = np.repeat(self.rows, counts)
             out[rr, np.concatenate(self.addresses)] = np.concatenate(self.values)

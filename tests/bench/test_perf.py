@@ -15,6 +15,7 @@ from repro.bench.perf import (
     PerfConfig,
     bench_event_application,
     bench_streaming,
+    bench_streaming_adaptive,
     render_delta_table,
     render_perf_tables,
     run_perf,
@@ -50,10 +51,35 @@ def canned_result(speedup=6.0, p50=2.0):
     }
 
 
+def canned_adaptive_cell(speedup=1.3, static_p50=2.0):
+    return {
+        "model": "T-GCN", "dataset": "GT", "scale": 1.0,
+        "num_vertices": 1000, "window_size": 4, "windows_timed": 4,
+        "static_p50_ms": static_p50, "static_p95_ms": static_p50 * 1.5,
+        "adaptive_p50_ms": static_p50 / speedup,
+        "adaptive_p95_ms": static_p50 * 1.5 / speedup,
+        "adaptive_rep_p50_ms": [static_p50, static_p50 / speedup],
+        "speedup_p50": speedup,
+        "plan": {
+            "kernels": {"batched-spmm": 3, "delta-condensed": 1},
+            "storages": {"DENSE": 4},
+            "partition": "balanced",
+            "thresholds": {"theta_s": -0.65, "theta_e": 0.35},
+            "aggressiveness": 0.5,
+            "kernel_switches": 2,
+            "probes": 2,
+            "max_drift": 0.008,
+            "drift_budget": 0.02,
+            "cost_model": {"table_source": "calibrated"},
+        },
+    }
+
+
 class TestPerfConfig:
     def test_defaults(self):
         cfg = PerfConfig()
         assert not cfg.smoke
+        assert not cfg.adaptive
         assert cfg.effective_repeats == 7
         assert len(cfg.event_cells) == 3
         assert len(cfg.stream_cells) == 4
@@ -88,6 +114,25 @@ class TestMeasurementCells:
         assert cell["windows_timed"] == 1  # 4 snapshots / window 4
         assert 0 < cell["best_ms"] <= cell["p50_ms"] <= cell["p95_ms"]
 
+    def test_adaptive_cell(self):
+        cell = bench_streaming_adaptive(
+            "T-GCN", "GT", 0.2, 4, repeats=2, seed=3
+        )
+        assert cell["windows_timed"] == 2  # one window per pass, 2 passes
+        assert cell["static_p50_ms"] > 0
+        assert cell["adaptive_p50_ms"] > 0
+        assert cell["speedup_p50"] == pytest.approx(
+            cell["static_p50_ms"] / cell["adaptive_p50_ms"]
+        )
+        assert len(cell["adaptive_rep_p50_ms"]) == 2
+        plan = cell["plan"]
+        assert sum(plan["kernels"].values()) == 2  # every window planned
+        assert plan["drift_budget"] == 0.02
+        assert -1.0 <= plan["thresholds"]["theta_s"] <= -0.5
+        assert 0.2 <= plan["thresholds"]["theta_e"] <= 0.5
+        # the whole cell document must be JSON-archivable
+        json.dumps(cell)
+
 
 class TestResultDocument:
     def test_write_result_round_trips(self, tmp_path):
@@ -116,6 +161,29 @@ class TestResultDocument:
         assert "+10.0%" in out      # throughput up
         assert "+50.0%" in out      # latency up
         assert "report-only" in out
+
+    def test_render_tables_with_adaptive_section(self):
+        result = canned_result()
+        result["adaptive"] = {
+            "calibration": {"source": "calibrated"},
+            "cells": [canned_adaptive_cell()],
+        }
+        out = render_perf_tables(result)
+        assert "Adaptive planning" in out
+        assert "1.30x" in out
+        assert "batched-spmm" in out
+        assert "(-0.65,+0.35)" in out
+
+    def test_delta_table_includes_adaptive_vs_static_baseline(self):
+        base = canned_result(p50=2.0)
+        cur = canned_result(p50=2.0)
+        cur["adaptive"] = {
+            "calibration": {},
+            "cells": [canned_adaptive_cell(speedup=1.25, static_p50=2.0)],
+        }
+        out = render_delta_table(cur, base)
+        assert "adaptive T-GCN/GT p50" in out
+        assert "-20.0%" in out  # 2.0ms -> 1.6ms against the baseline row
 
     def test_delta_table_with_no_overlap(self):
         base = canned_result()

@@ -95,6 +95,14 @@ class TestCrashConsistency:
         )
         assert resumed.metrics.as_dict() == stream.metrics.as_dict()
         assert resumed.pending == stream.pending
+        # the per-window trajectory is list-valued and travels through a
+        # dedicated (W, 3) array — make sure it survives as tuples
+        assert resumed.metrics.window_modes == stream.metrics.window_modes
+        assert stream.metrics.window_modes, "4 pushes must complete a window"
+        assert all(
+            isinstance(t, tuple) and len(t) == 3
+            for t in resumed.metrics.window_modes
+        )
 
     def test_file_path_round_trip(self, graph, tmp_path):
         stream = StreamingInference(_model(graph), window_size=WINDOW)

@@ -120,6 +120,34 @@ class TestDeltaGeneration:
         assert packed.nnz == 0
         assert len(packed.rows) == 0
 
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (0, 0)])
+    def test_condense_degenerate_shapes(self, shape):
+        """Zero-row / zero-column deltas (an empty changed set) must not
+        divide by zero or trip numpy's empty-concatenate path."""
+        packed = condense(np.zeros(shape, dtype=np.float32))
+        assert packed.nnz == 0
+        assert packed.density() == 0.0
+        expanded = packed.expand()
+        assert expanded.shape == shape
+        assert expanded.size == 0
+
+    def test_expand_with_empty_address_lists(self):
+        """A packing whose rows all carry empty address lists expands to
+        the all-zero matrix."""
+        from repro.skipping.delta import CondensedDelta
+
+        packed = CondensedDelta(
+            rows=np.array([1], dtype=np.int64),
+            addresses=[np.array([], dtype=np.int64)],
+            values=[np.array([], dtype=np.float32)],
+            dense_shape=(3, 4),
+        )
+        assert packed.nnz == 0
+        assert packed.density() == 0.0
+        np.testing.assert_array_equal(
+            packed.expand(), np.zeros((3, 4), dtype=np.float32)
+        )
+
 
 @pytest.mark.parametrize("cell_cls", [LSTMCell, GRUCell])
 class TestDeltaCellCache:

@@ -70,6 +70,30 @@ class TestCommands:
         assert "latency" in capsys.readouterr().out
 
 
+class TestPlan:
+    def test_plan_summary(self, capsys):
+        assert main(["plan", "--dataset", "GT", "--snapshots", "8",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "windows planned" in out
+        assert "thresholds:" in out
+        assert "probes:" in out
+
+    def test_plan_explain(self, capsys):
+        assert main(["plan", "--dataset", "GT", "--snapshots", "8",
+                     "--repeats", "2", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "window   0" in out
+        assert "latest plan:" in out
+        assert "kernel switches:" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "T-GCN"
+        assert args.repeats == 2
+        assert not args.calibrate and not args.explain
+
+
 class TestStats:
     def test_stats(self, capsys):
         assert main(["stats", "--dataset", "GT", "--snapshots", "4"]) == 0
