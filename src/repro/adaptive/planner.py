@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..skipping.policy import SkipThresholds
 from .costmodel import CostModel
 from .plan import ExecutionPlan, KernelChoice, StorageChoice
@@ -45,6 +46,7 @@ __all__ = ["AdaptiveConfig", "AdaptivePlanner", "PlanRecord", "relative_drift"]
 _DEFAULTS = SkipThresholds()
 
 
+@contract("_, _ -> float")
 def relative_drift(baseline: list, outputs: list) -> float:
     """Relative L1 divergence between two output trajectories — the
     quantity the drift budget bounds (tuned vs default-threshold run of

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..graphs.snapshot import CSRSnapshot
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
 ]
 
 
+@contract("(r,f) f, (r,f) f -> (r,) f64")
 def cosine_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Row-wise cosine similarity of two equally-shaped matrices.
 
@@ -63,6 +65,7 @@ def _gather_rows(snap: CSRSnapshot, vertices: np.ndarray, deg: np.ndarray) -> np
     return snap.indices[idx].astype(np.int64)
 
 
+@contract("_, _, (r,) i, (n,) b -> (r,) f64")
 def neighbor_stability_weights(
     snap_t: CSRSnapshot,
     snap_t1: CSRSnapshot,
@@ -117,6 +120,7 @@ def neighbor_stability_weights(
 COSINE_SHARPNESS = 10.0 / 3.0
 
 
+@contract("(n,f) f, (n,f) f, _, _, (r,) i, (n,) b -> (r,) f64")
 def similarity_scores(
     z_t: np.ndarray,
     z_t1: np.ndarray,

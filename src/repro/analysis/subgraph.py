@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..formats.base import WindowSelection
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import build_csr
@@ -27,6 +28,7 @@ from .classify import VertexClass, WindowClassification, classify_window
 __all__ = ["AffectedSubgraph", "extract_affected_subgraph", "union_adjacency"]
 
 
+@contract("_ -> (m,) i64, (e,) i32")
 def union_adjacency(window: DynamicGraph) -> tuple[np.ndarray, np.ndarray]:
     """CSR of the union of every snapshot's edges (deduplicated)."""
     n = window.num_vertices

@@ -13,10 +13,12 @@ The block supports rule enable/disable and per-path excludes::
 ``determinism-paths`` names the simulator-core directories rule R001
 polices; ``validation-paths`` names where R005 requires range-checked
 dataclass fields; ``hot-paths`` names the vectorised kernels rule R006
-keeps free of per-element Python loops.  All three match path *parts* of
-the module's repo-relative path, so ``"hardware"`` covers every file
-under any ``hardware/`` directory (entries containing ``/`` match as
-path suffixes instead).
+keeps free of per-element Python loops; ``contract-paths`` names the
+packages whose public array kernels rules R007/R008 hold to declared
+shape/dtype contracts.  All of them match path *parts* of the module's
+repo-relative path, so ``"hardware"`` covers every file under any
+``hardware/`` directory (entries containing ``/`` match as path
+suffixes instead).
 """
 
 from __future__ import annotations
@@ -27,11 +29,16 @@ from fnmatch import fnmatch
 from pathlib import Path
 
 __all__ = ["CheckConfig", "load_config", "DEFAULT_DETERMINISM_PATHS",
-           "DEFAULT_VALIDATION_PATHS", "DEFAULT_HOT_PATHS"]
+           "DEFAULT_VALIDATION_PATHS", "DEFAULT_HOT_PATHS",
+           "DEFAULT_CONTRACT_PATHS"]
 
 DEFAULT_DETERMINISM_PATHS = ("accel", "hardware", "engine", "formats")
 DEFAULT_VALIDATION_PATHS = ("hardware", "accel/config.py")
 DEFAULT_HOT_PATHS = ("formats", "graphs/updates.py", "engine", "skipping")
+DEFAULT_CONTRACT_PATHS = (
+    "formats", "graphs", "engine", "skipping", "adaptive", "models",
+    "analysis/similarity.py",
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,7 @@ class CheckConfig:
     determinism_paths: tuple[str, ...] = DEFAULT_DETERMINISM_PATHS
     validation_paths: tuple[str, ...] = DEFAULT_VALIDATION_PATHS
     hot_paths: tuple[str, ...] = DEFAULT_HOT_PATHS
+    contract_paths: tuple[str, ...] = DEFAULT_CONTRACT_PATHS
 
     def rule_enabled(self, code: str) -> bool:
         """Whether rule ``code`` runs under this configuration.  A
@@ -105,4 +113,5 @@ def _from_mapping(block: dict) -> CheckConfig:
         ),
         validation_paths=strings("validation-paths", DEFAULT_VALIDATION_PATHS),
         hot_paths=strings("hot-paths", DEFAULT_HOT_PATHS),
+        contract_paths=strings("contract-paths", DEFAULT_CONTRACT_PATHS),
     )

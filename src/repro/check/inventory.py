@@ -1,0 +1,74 @@
+"""The audited ``# repro: noqa`` inventory, rebuilt from the tree.
+
+``docs/static_analysis.md`` carries a hand-written table of every
+suppression in ``src/`` and why it is there.  Hand-written tables rot;
+:func:`collect_noqa_inventory` re-derives the ground truth (via
+``tokenize``, so docstrings that merely *mention* noqa don't count) and
+:func:`parse_inventory_table` reads the documented table back, letting
+``tests/check/test_doc_drift.py`` assert the two agree on every commit.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from .runner import NOQA_PATTERN
+
+__all__ = ["collect_noqa_inventory", "parse_inventory_table"]
+
+#: a table row like ``| `formats/pma.py` (×3) | R006 | reason |``
+_ROW_PATTERN = re.compile(
+    r"^\|\s*`(?P<path>[^`]+)`\s*(?:\(×(?P<count>\d+)\))?\s*"
+    r"\|\s*(?P<codes>[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)\s*\|"
+)
+
+
+def collect_noqa_inventory(root: Path | str) -> dict[tuple[str, str], int]:
+    """``{(posix relpath, code): count}`` over every real ``# repro:
+    noqa`` comment under ``root`` (bare suppressions count under the
+    pseudo-code ``all``)."""
+    root = Path(root)
+    inventory: dict[tuple[str, str], int] = {}
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                tok.string
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenizeError:
+            continue
+        for comment in comments:
+            m = NOQA_PATTERN.search(comment)
+            if not m:
+                continue
+            codes = m.group("codes")
+            names = (
+                ["all"] if codes is None
+                else [c.strip() for c in codes.split(",")]
+            )
+            for code in names:
+                key = (relpath, code)
+                inventory[key] = inventory.get(key, 0) + 1
+    return inventory
+
+
+def parse_inventory_table(markdown: str) -> dict[tuple[str, str], int]:
+    """Read the suppression table out of ``docs/static_analysis.md``
+    into the same ``{(relpath, code): count}`` shape."""
+    inventory: dict[tuple[str, str], int] = {}
+    for line in markdown.splitlines():
+        m = _ROW_PATTERN.match(line.strip())
+        if not m:
+            continue
+        count = int(m.group("count") or 1)
+        for code in m.group("codes").split(","):
+            key = (m.group("path").strip(), code.strip())
+            inventory[key] = inventory.get(key, 0) + count
+    return inventory

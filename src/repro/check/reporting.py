@@ -1,0 +1,133 @@
+"""Machine-readable output for ``repro check``: JSON and SARIF 2.1.0.
+
+The text format stays the CI gate; these renderers feed tooling — the
+JSON shape is stable for scripts, and the SARIF document uploads to
+GitHub code scanning (see the ``static-analysis-sarif`` job in
+``.github/workflows/ci.yml``), which annotates PR diffs with findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from .findings import Finding
+from .registry import RULES
+
+__all__ = ["render_json", "render_sarif", "RunStatistics"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+class RunStatistics:
+    """Per-rule finding counts and wall time for ``--statistics``."""
+
+    def __init__(self) -> None:
+        self.findings_by_rule: dict[str, int] = {}
+        self.seconds_by_rule: dict[str, float] = {}
+        self.files_scanned: int = 0
+        self.total_seconds: float = 0.0
+
+    def record_rule(self, code: str, n_findings: int, seconds: float) -> None:
+        self.findings_by_rule[code] = (
+            self.findings_by_rule.get(code, 0) + n_findings
+        )
+        self.seconds_by_rule[code] = (
+            self.seconds_by_rule.get(code, 0.0) + seconds
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"{'rule':<6} {'findings':>8} {'time':>9}",
+        ]
+        for code in sorted(self.seconds_by_rule):
+            name = RULES[code].name if code in RULES else ""
+            lines.append(
+                f"{code:<6} {self.findings_by_rule.get(code, 0):>8}"
+                f" {self.seconds_by_rule[code] * 1e3:>7.1f}ms  {name}"
+            )
+        lines.append(
+            f"{self.files_scanned} file(s) scanned in"
+            f" {self.total_seconds * 1e3:.1f}ms"
+        )
+        return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding], stats: RunStatistics | None = None
+) -> str:
+    findings = list(findings)
+    doc: dict = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "count": len(findings),
+    }
+    if stats is not None:
+        doc["statistics"] = {
+            "findings_by_rule": stats.findings_by_rule,
+            "seconds_by_rule": stats.seconds_by_rule,
+            "files_scanned": stats.files_scanned,
+            "total_seconds": stats.total_seconds,
+        }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _sarif_rules() -> list[Mapping]:
+    return [
+        {
+            "id": code,
+            "name": RULES[code].name,
+            "shortDescription": {"text": RULES[code].description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in sorted(RULES)
+    ]
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

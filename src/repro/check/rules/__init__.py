@@ -1,4 +1,4 @@
-"""Repo-specific rules R001-R006.
+"""Repo-specific rules R001-R008.
 
 Importing this package registers every rule in
 :data:`repro.check.registry.RULES`.
@@ -6,6 +6,15 @@ Importing this package registers every rule in
 
 from __future__ import annotations
 
-from . import api, determinism, frozen, hotpath, units, validation
+from . import (
+    api,
+    contracts,
+    determinism,
+    frozen,
+    hotpath,
+    units,
+    validation,
+)
 
-__all__ = ["api", "determinism", "frozen", "hotpath", "units", "validation"]
+__all__ = ["api", "contracts", "determinism", "frozen", "hotpath", "units",
+           "validation"]

@@ -1,0 +1,171 @@
+"""R007/R008 — shape/dtype contracts on the array hot paths.
+
+R007 (contract-consistency) abstractly interprets every function body
+in the configured contract paths (see
+:mod:`repro.check.shapes.abstract`): call sites into contracted kernels
+are checked by unifying the caller's abstract argument values against
+the callee's declared specs, and inside functions that themselves
+declare a contract the pass also verifies return statements against the
+declared returns and flags broadcasts/matmuls that can never succeed.
+Only *provable* conflicts are reported — unequal literal dimensions,
+the same symbol at different offsets, two distinct contract symbols
+forced equal, disjoint dtype kinds — so correct-but-dynamic code stays
+quiet.
+
+R008 (contract-coverage) requires public module-level kernels in those
+paths — functions exported via ``__all__`` whose signature mentions
+``ndarray`` — to declare a ``@contract``.  Methods and private helpers
+are exempt (the runtime half still covers any that opt in).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleContext, rule
+from ..shapes.abstract import FunctionInterpreter
+from ..shapes.index import (
+    ContractIndex,
+    ModuleResolver,
+    collect_contracts,
+    contract_decorator,
+    module_fullname,
+)
+from ..shapes.spec import ContractError, parse_contract
+
+__all__ = ["check_contract_consistency", "check_contract_coverage",
+           "module_functions", "public_array_kernels"]
+
+
+def module_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef]]:
+    """(qualname, node) for every top-level function and method."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, ast.FunctionDef):
+                    yield f"{node.name}.{sub.name}", sub
+
+
+def _literal_all(tree: ast.Module) -> set[str]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                return {
+                    e.value
+                    for e in node.value.elts
+                    if isinstance(e, ast.Constant)
+                    and isinstance(e.value, str)
+                }
+    return set()
+
+
+def _mentions_ndarray(fn: ast.FunctionDef) -> bool:
+    annotations = [
+        a.annotation
+        for a in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        if a.annotation is not None
+    ]
+    if fn.returns is not None:
+        annotations.append(fn.returns)
+    for ann in annotations:
+        for sub in ast.walk(ann):
+            if isinstance(sub, ast.Name) and sub.id == "ndarray":
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == "ndarray":
+                return True
+            if isinstance(sub, ast.Constant) and isinstance(
+                sub.value, str
+            ) and "ndarray" in sub.value:
+                return True
+    return False
+
+
+def public_array_kernels(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Top-level public functions whose signature mentions ``ndarray``
+    and that are exported via a literal ``__all__``."""
+    exported = _literal_all(tree)
+    for node in tree.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and not node.name.startswith("_")
+            and node.name in exported
+            and _mentions_ndarray(node)
+        ):
+            yield node
+
+
+def _contract_index(ctx: ModuleContext) -> ContractIndex:
+    index = ctx.project.contracts
+    if isinstance(index, ContractIndex):
+        return index
+    # standalone rule invocation (tests): index just this module
+    return collect_contracts([ctx])
+
+
+@rule("R007", "contract-consistency",
+      "call sites and bodies must satisfy declared shape/dtype contracts")
+def check_contract_consistency(ctx: ModuleContext) -> Iterator[Finding]:
+    cfg = ctx.project.config
+    if not cfg.path_covered(ctx.relpath, cfg.contract_paths):
+        return
+    index = _contract_index(ctx)
+    resolver = ModuleResolver(ctx, index)
+    module = module_fullname(ctx.relpath)
+    seen: set[tuple[int, str]] = set()
+    findings: list[Finding] = []
+
+    for qualname, fn in module_functions(ctx.tree):
+        declared = contract_decorator(fn)
+        if declared is not None:
+            try:
+                parse_contract(declared[0])
+            except ContractError as exc:
+                findings.append(
+                    ctx.finding(declared[1], "R007", f"bad contract: {exc}")
+                )
+                continue
+        info = index.lookup(module, qualname)
+
+        def report(lineno: int, message: str, _q=qualname) -> None:
+            key = (lineno, message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(
+                    ctx.finding(lineno, "R007", f"in {_q}: {message}")
+                )
+
+        interp = FunctionInterpreter(
+            resolver,
+            report,
+            contract_spec=info.spec if info is not None else None,
+            params=list(info.params) if info is not None else None,
+        )
+        interp.run(fn)
+    yield from findings
+
+
+@rule("R008", "contract-coverage",
+      "public array kernels in contract paths must declare a contract")
+def check_contract_coverage(ctx: ModuleContext) -> Iterator[Finding]:
+    cfg = ctx.project.config
+    if not cfg.path_covered(ctx.relpath, cfg.contract_paths):
+        return
+    for fn in public_array_kernels(ctx.tree):
+        if contract_decorator(fn) is None:
+            yield ctx.finding(
+                fn, "R008",
+                f"public array kernel '{fn.name}' has no @contract"
+                " (declare one, e.g. @contract(\"(n,f) f32 -> (n,f)"
+                " f32\"), or mark '# repro: noqa R008' with a reason)",
+            )

@@ -16,6 +16,7 @@ import argparse
 import ast
 import re
 import sys
+import time
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -23,13 +24,21 @@ from . import rules as _rules  # noqa: F401  (imports register the rules)
 from .config import CheckConfig, load_config
 from .findings import Finding
 from .registry import RULES, ModuleContext, ProjectContext
+from .reporting import RunStatistics, render_json, render_sarif
 from .rules.frozen import collect_frozen_classes
+from .shapes.index import collect_contracts
 
 __all__ = ["scan_paths", "iter_python_files", "filter_noqa", "main",
            "build_parser", "NOQA_PATTERN"]
 
+#: The suppression comment: a bare ``repro: noqa`` hash-comment drops
+#: every code on its line; ``repro: noqa R001, R003`` drops only the
+#: listed codes.  The ``\b`` keeps ``noqaR006``-style typos from
+#: silently suppressing every rule on the line.  (Spelled without the
+#: leading hash here so this very comment stays out of the audited
+#: suppression inventory.)
 NOQA_PATTERN = re.compile(
-    r"#\s*repro:\s*noqa(?:\s+(?P<codes>[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*))?"
+    r"#\s*repro:\s*noqa\b(?:\s+(?P<codes>[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*))?"
 )
 
 
@@ -79,13 +88,16 @@ def scan_paths(
     config: CheckConfig | None = None,
     select: Iterable[str] | None = None,
     root: Path | str | None = None,
+    stats: RunStatistics | None = None,
 ) -> list[Finding]:
     """Run the pass over ``paths`` and return surviving findings.
 
     ``select`` narrows to specific rule codes (after the config's own
     enable/disable); ``root`` anchors relative paths and the
-    pyproject.toml lookup (default: the first path).
+    pyproject.toml lookup (default: the first path); ``stats``, when
+    given, accumulates per-rule finding counts and wall time.
     """
+    started = time.perf_counter()
     files = iter_python_files(paths)
     root = Path(root) if root is not None else Path.cwd()
     if config is None:
@@ -116,21 +128,40 @@ def scan_paths(
         lines_by_path[relpath] = ctx.lines
 
     project = ProjectContext(
-        config=config, frozen_classes=frozenset(frozen)
+        config=config,
+        frozen_classes=frozenset(frozen),
+        contracts=collect_contracts(modules),
     )
     findings: list[Finding] = []
+    seconds_by_rule: dict[str, float] = {}
     for ctx in modules:
         ctx.project = project
         for code in codes:
+            t0 = time.perf_counter()
             findings.extend(RULES[code].run(ctx))
-    return sorted(filter_noqa(findings, lines_by_path))
+            seconds_by_rule[code] = (
+                seconds_by_rule.get(code, 0.0)
+                + (time.perf_counter() - t0)
+            )
+    kept = sorted(filter_noqa(findings, lines_by_path))
+    if stats is not None:
+        counts: dict[str, int] = {}
+        for f in kept:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        for code in codes:
+            stats.record_rule(
+                code, counts.get(code, 0), seconds_by_rule.get(code, 0.0)
+            )
+        stats.files_scanned += len(modules)
+        stats.total_seconds += time.perf_counter() - started
+    return kept
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro.check",
         description="repo-specific static analysis for the TaGNN"
-        " reproduction (rules R001-R006)",
+        " reproduction (rules R001-R008)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to scan (default: src)")
@@ -140,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="repo root for relative paths and pyproject lookup")
     p.add_argument("--list-rules", action="store_true",
                    help="print the registered rules and exit")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="output format (json/sarif for tooling; the"
+                   " exit code gate is identical)")
+    p.add_argument("--statistics", action="store_true",
+                   help="print per-rule finding counts and wall time"
+                   " to stderr")
     return p
 
 
@@ -158,15 +196,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    stats = RunStatistics() if args.statistics else None
     try:
         findings = scan_paths(
-            args.paths, select=args.select, root=args.root
+            args.paths, select=args.select, root=args.root, stats=stats
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for f in findings:
-        print(f.format())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
+    if args.format == "json":
+        print(render_json(findings, stats))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
+    else:
+        for f in findings:
+            print(f.format())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    if stats is not None:
+        print(stats.format(), file=sys.stderr)
     return 1 if findings else 0

@@ -1,0 +1,49 @@
+"""Shape/dtype contracts for the array hot paths.
+
+One declaration drives two enforcement modes::
+
+    from repro.check.shapes import contract
+
+    @contract("(n,f) f32, (e,) i64 -> (n,f) f32")
+    def propagate(x, idx): ...
+
+* **Static** — ``repro check`` rules R007/R008 parse the same string,
+  abstractly interpret kernel bodies and call sites over symbolic
+  dimensions, and fail CI on provable violations
+  (:mod:`repro.check.shapes.abstract`, :mod:`repro.check.rules.contracts`).
+* **Runtime** — under ``REPRO_SANITIZE=1`` the decorator validates real
+  arguments and returns on every call, raising
+  :class:`~repro.check.sanitizer.SanitizerViolation` with the offending
+  dimension/dtype; disabled, it costs one truthiness test
+  (:mod:`repro.check.shapes.runtime`).
+
+See docs/static_analysis.md for the contract-authoring guide.
+"""
+
+from __future__ import annotations
+
+from .runtime import contract, get_contract, validate_value
+from .spec import (
+    AnySpec,
+    ArraySpec,
+    ContractError,
+    ContractSpec,
+    DimScalarSpec,
+    DimSpec,
+    ScalarSpec,
+    parse_contract,
+)
+
+__all__ = [
+    "AnySpec",
+    "ArraySpec",
+    "ContractError",
+    "ContractSpec",
+    "DimScalarSpec",
+    "DimSpec",
+    "ScalarSpec",
+    "contract",
+    "get_contract",
+    "parse_contract",
+    "validate_value",
+]

@@ -1,0 +1,1427 @@
+"""Abstract interpretation of kernel bodies over symbolic shapes.
+
+The static half of the contract subsystem.  Values are abstracted to
+:class:`AVal` — an array with symbolic dimensions and a contract dtype
+code, a scalar (integers may carry the dimension they measure, so
+``x.shape[0]`` and ``len(x)`` stay symbolic), a tuple, a shape tuple, or
+"anything".  Dimensions reuse :class:`~repro.check.shapes.spec.DimSpec`:
+a named symbol plus offset (``n``, ``n+1``), an integer literal, or
+unknown.
+
+The interpreter walks one function body at a time, threading an
+environment of ``name -> AVal`` through assignments, branches (joined),
+loops (assigned names widened to ANY first), indexing, NumPy calls
+(creation, ufuncs, reductions, ``matmul``/``concatenate``/indexing
+semantics), and calls into other contracted kernels (checked by
+unification, then the callee's declared returns become the call's
+value).
+
+Everything uncertain widens to ANY; the pass only reports conflicts it
+can *prove* (two unequal literal dims, the same symbol at different
+offsets, two distinct contract symbols forced equal, disjoint dtype
+kinds).  That keeps R007 quiet on correct code — the gate requires
+``repro check src/`` to exit 0 on the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..registry import dotted_name
+from .spec import (
+    EXACT_DTYPES,
+    AnySpec,
+    ArraySpec,
+    ContractSpec,
+    DimScalarSpec,
+    DimSpec,
+    ScalarSpec,
+)
+
+__all__ = [
+    "ANY",
+    "ANY_DIM",
+    "AVal",
+    "FunctionInterpreter",
+    "arg_symbols",
+    "arr",
+    "aval_from_spec",
+    "broadcast_dims",
+    "dtype_conflict",
+    "floatize",
+    "int_scalar",
+    "promote",
+    "promote_weak",
+    "rigid_conflict",
+    "scalar",
+    "scalar_kind_of",
+    "seed_params",
+    "shift_dim",
+    "sum_dtype",
+    "unify_value",
+]
+
+ANY_DIM = DimSpec("any")
+
+_NAME_TO_CODE = {v: k for k, v in EXACT_DTYPES.items()}
+#: numpy attribute names -> contract dtype codes (for ``dtype=np.float32``)
+_NP_NAME_TO_CODE = dict(_NAME_TO_CODE)
+_NP_NAME_TO_CODE.update(
+    {"bool_": "b", "intp": "i64", "int_": "i64", "float_": "f64",
+     "double": "f64", "single": "f32", "half": "f16"}
+)
+
+
+@dataclass(frozen=True)
+class AVal:
+    """One abstract value.
+
+    kind 'array': ``dims`` (None = unknown rank) and ``dtype`` (a
+    contract dtype code, a kind class, or '?').
+    kind 'scalar': ``scalar_kind`` in int/float/bool/str/none/'?';
+    integer scalars may carry ``dim``, the dimension they measure.
+    kind 'tuple': ``elems``.  kind 'shape': ``dims`` of the array whose
+    ``.shape`` this is.  kind 'any': no information.
+    """
+
+    kind: str
+    dims: tuple[DimSpec, ...] | None = None
+    dtype: str = "?"
+    scalar_kind: str = "?"
+    dim: DimSpec | None = None
+    elems: tuple["AVal", ...] | None = None
+
+
+ANY = AVal("any")
+
+
+def arr(dims, dtype: str = "?") -> AVal:
+    return AVal("array", dims=dims, dtype=dtype)
+
+
+def int_scalar(dim: DimSpec | None = None) -> AVal:
+    return AVal("scalar", scalar_kind="int", dim=dim)
+
+
+def scalar(kind: str) -> AVal:
+    return AVal("scalar", scalar_kind=kind)
+
+
+# ----------------------------------------------------------------------
+# dtype lattice
+# ----------------------------------------------------------------------
+def _kindset(code: str) -> frozenset:
+    if code in EXACT_DTYPES:
+        return frozenset(np.dtype(EXACT_DTYPES[code]).kind)
+    return {
+        "f": frozenset("f"),
+        "i": frozenset("iu"),
+        "u": frozenset("u"),
+        "?": frozenset("fiub"),
+    }[code]
+
+
+def promote(a: str, b: str) -> str:
+    """NumPy type promotion lifted to contract codes ('?' is absorbing,
+    kind classes stay classes)."""
+    if a == "?" or b == "?":
+        return "?"
+    if a in EXACT_DTYPES and b in EXACT_DTYPES:
+        name = np.promote_types(EXACT_DTYPES[a], EXACT_DTYPES[b]).name
+        return _NAME_TO_CODE.get(name, "?")
+    kinds = _kindset(a) | _kindset(b)
+    if "f" in kinds:
+        return "f"
+    if kinds <= {"i", "u"}:
+        return "u" if kinds == {"u"} else "i"
+    if kinds == {"b"}:
+        return "b"
+    return "?"
+
+
+def promote_weak(array_dtype: str, scalar_kind: str) -> str:
+    """Array op python-scalar promotion (NEP 50 weak scalars): ints
+    never widen the array; a float scalar floats an integer array."""
+    if array_dtype == "?":
+        return "?"
+    if scalar_kind == "int":
+        return "?" if _kindset(array_dtype) == {"b"} else array_dtype
+    if scalar_kind == "float":
+        if _kindset(array_dtype) <= {"f"}:
+            return array_dtype
+        return "f64" if array_dtype in EXACT_DTYPES else "f"
+    return "?"
+
+
+def floatize(code: str) -> str:
+    """Result dtype of true division / float-valued ufuncs."""
+    if code == "?":
+        return "f"
+    if _kindset(code) <= {"f"}:
+        return code
+    return "f64" if code in EXACT_DTYPES else "f"
+
+
+def dtype_conflict(computed: str, declared: str) -> bool:
+    """True only when every concrete dtype in ``computed`` fails
+    ``declared`` — a provable mismatch."""
+    if computed == "?" or declared == "?":
+        return False
+    if computed in EXACT_DTYPES and declared in EXACT_DTYPES:
+        return computed != declared
+    return not (_kindset(computed) & _kindset(declared))
+
+
+# ----------------------------------------------------------------------
+# dimension lattice
+# ----------------------------------------------------------------------
+def _is_one(d: DimSpec) -> bool:
+    return d.kind == "lit" and d.value == 1
+
+
+def rigid_conflict(a: DimSpec, b: DimSpec) -> bool:
+    """Provably-unequal ground dims: unequal literals, the same symbol
+    at different offsets, or two distinct contract symbols."""
+    if a.kind == "any" or b.kind == "any":
+        return False
+    if a.kind == "lit" and b.kind == "lit":
+        return a.value != b.value
+    if a.kind == "sym" and b.kind == "sym":
+        return a.name != b.name or a.value != b.value
+    return False  # sym vs lit: could coincide
+
+
+def shift_dim(d: DimSpec, delta: int) -> DimSpec:
+    if d.kind == "lit":
+        return DimSpec("lit", value=d.value + delta)
+    if d.kind == "sym":
+        return DimSpec("sym", name=d.name, value=d.value + delta)
+    return ANY_DIM
+
+
+def _merge_bcast(a: DimSpec, b: DimSpec) -> tuple[DimSpec, str | None]:
+    if _is_one(a):
+        return b, None
+    if _is_one(b):
+        return a, None
+    if a.kind == "any" or b.kind == "any":
+        return ANY_DIM, None
+    if a.kind == "lit" and b.kind == "lit":
+        if a.value != b.value:
+            return ANY_DIM, f"{a.value} vs {b.value}"
+        return a, None
+    if a == b:
+        return a, None
+    return ANY_DIM, None  # sym vs lit>1 / distinct syms: not provable
+
+
+def broadcast_dims(
+    a: tuple[DimSpec, ...] | None, b: tuple[DimSpec, ...] | None
+) -> tuple[tuple[DimSpec, ...] | None, str | None]:
+    """NumPy broadcasting over symbolic dims.  Returns (result dims or
+    None if unknown, conflict detail if a pair of literal axes can
+    never broadcast)."""
+    if a is None or b is None:
+        return None, None
+    rank = max(len(a), len(b))
+    pa = (ANY_DIM,) * (rank - len(a)) + a
+    pb = (ANY_DIM,) * (rank - len(b)) + b
+    # a prepended axis broadcasts like literal 1
+    pa = tuple(
+        DimSpec("lit", value=1) if i < rank - len(a) else d
+        for i, d in enumerate(pa)
+    )
+    pb = tuple(
+        DimSpec("lit", value=1) if i < rank - len(b) else d
+        for i, d in enumerate(pb)
+    )
+    out, conflict = [], None
+    for da, db in zip(pa, pb):
+        d, c = _merge_bcast(da, db)
+        out.append(d)
+        conflict = conflict or c
+    return tuple(out), conflict
+
+
+# ----------------------------------------------------------------------
+# unification of an abstract value against a contract spec
+# ----------------------------------------------------------------------
+def _bind(
+    bindings: dict[str, DimSpec], name: str, base: DimSpec
+) -> str | None:
+    have = bindings.get(name)
+    if have is None:
+        bindings[name] = base
+        return None
+    if have.kind == "any" or base.kind == "any":
+        return None
+    if rigid_conflict(have, base):
+        return f"{name}={have} vs {name}={base}"
+    if have != base:  # sym-vs-lit: unknown — widen, keep quiet
+        bindings[name] = ANY_DIM
+    return None
+
+
+def unify_value(
+    spec, aval: AVal, bindings: dict[str, DimSpec]
+) -> str | None:
+    """Check one abstract value against one contract spec; returns the
+    conflict description, or None when compatible (binding dimension
+    symbols in ``bindings`` along the way)."""
+    if isinstance(spec, AnySpec) or aval.kind == "any":
+        return None
+    if isinstance(spec, ScalarSpec):
+        if aval.kind == "array":
+            return f"array where scalar {spec.kind} declared"
+        if aval.kind != "scalar" or aval.scalar_kind == "?":
+            return None
+        ok = {
+            "int": {"int"},
+            "float": {"int", "float"},
+            "bool": {"bool"},
+            "str": {"str"},
+            "none": {"none"},
+        }[spec.kind]
+        if aval.scalar_kind not in ok:
+            return f"{aval.scalar_kind} where {spec.kind} declared"
+        return None
+    if isinstance(spec, DimScalarSpec):
+        if aval.kind == "array":
+            return f"array where dim scalar {spec.name!r} declared"
+        if aval.kind != "scalar":
+            return None
+        if aval.scalar_kind not in ("int", "?"):
+            return f"{aval.scalar_kind} where int dim {spec.name!r} declared"
+        if aval.dim is not None:
+            return _bind(bindings, spec.name, aval.dim)
+        return None
+    if isinstance(spec, ArraySpec):
+        if aval.kind == "scalar":
+            if spec.optional and aval.scalar_kind in ("none", "?"):
+                return None
+            if aval.scalar_kind == "?":
+                return None
+            return f"{aval.scalar_kind} scalar where array declared"
+        if aval.kind != "array":
+            return None
+        if dtype_conflict(aval.dtype, spec.dtype):
+            return f"dtype {aval.dtype} where {spec.dtype} declared"
+        if spec.dims is None or aval.dims is None:
+            return None
+        if len(aval.dims) != len(spec.dims):
+            return (
+                f"rank {len(aval.dims)} where rank {len(spec.dims)}"
+                " declared"
+            )
+        for axis, (d, sd) in enumerate(zip(aval.dims, spec.dims)):
+            if sd.kind == "any" or d.kind == "any":
+                continue
+            if sd.kind == "lit":
+                if d.kind == "lit" and d.value != sd.value:
+                    return f"axis {axis} is {d}, declared {sd}"
+                continue
+            base = shift_dim(d, -sd.value)
+            if base.kind == "lit" and base.value < 0:
+                return f"axis {axis} is {d}, declared {sd}"
+            conflict = _bind(bindings, sd.name, base)
+            if conflict:
+                return f"axis {axis}: {conflict}"
+        return None
+    return None
+
+
+def aval_from_spec(spec, bindings: dict[str, DimSpec]) -> AVal:
+    """The abstract value a spec denotes, with symbols resolved through
+    ``bindings`` (unresolved symbols widen to unknown dims)."""
+    if isinstance(spec, ArraySpec):
+        if spec.dims is None:
+            return arr(None, spec.dtype)
+        dims = []
+        for d in spec.dims:
+            if d.kind == "sym":
+                base = bindings.get(d.name, ANY_DIM)
+                dims.append(
+                    shift_dim(base, d.value) if base.kind != "any"
+                    else ANY_DIM
+                )
+            else:
+                dims.append(d)
+        return arr(tuple(dims), spec.dtype)
+    if isinstance(spec, DimScalarSpec):
+        return int_scalar(bindings.get(spec.name))
+    if isinstance(spec, ScalarSpec):
+        return scalar(spec.kind) if spec.kind != "none" else scalar("none")
+    return ANY
+
+
+def seed_params(spec: ContractSpec, params: list[str]) -> dict[str, AVal]:
+    """Initial environment of a contracted function: each parameter
+    carries its declared dims as rigid symbols."""
+    env: dict[str, AVal] = {}
+    for name, item in zip(params, spec.args):
+        if isinstance(item, ArraySpec):
+            env[name] = arr(item.dims, item.dtype)
+        elif isinstance(item, DimScalarSpec):
+            env[name] = int_scalar(DimSpec("sym", name=item.name))
+        elif isinstance(item, ScalarSpec):
+            env[name] = scalar(item.kind)
+        else:
+            env[name] = ANY
+    return env
+
+
+def arg_symbols(spec: ContractSpec) -> set[str]:
+    syms: set[str] = set()
+    for item in spec.args:
+        if isinstance(item, ArraySpec) and item.dims:
+            syms.update(d.name for d in item.dims if d.kind == "sym")
+        elif isinstance(item, DimScalarSpec):
+            syms.add(item.name)
+    return syms
+
+
+# ----------------------------------------------------------------------
+# numpy call semantics
+# ----------------------------------------------------------------------
+_FLOAT_UFUNCS = frozenset(
+    "exp log log2 log10 expm1 log1p sqrt sin cos tan sinh cosh tanh "
+    "arcsin arccos arctan arcsinh arccosh arctanh".split()
+)
+_SAME_UFUNCS = frozenset(
+    "abs absolute negative positive floor ceil rint sign round around "
+    "nan_to_num conj ascontiguousarray".split()
+)
+_BIN_UFUNCS = frozenset(
+    "add subtract multiply maximum minimum fmax fmin power mod fmod "
+    "hypot arctan2 logaddexp remainder".split()
+)
+_BOOL_UFUNCS = frozenset(
+    "isnan isinf isfinite signbit logical_not isclose".split()
+)
+_BIN_BOOL_UFUNCS = frozenset(
+    "logical_and logical_or logical_xor greater greater_equal less "
+    "less_equal equal not_equal".split()
+)
+_KEEP_REDUCTIONS = frozenset("max min amax amin nanmax nanmin ptp".split())
+_SUM_REDUCTIONS = frozenset("sum nansum prod nanprod".split())
+_MEAN_REDUCTIONS = frozenset("mean nanmean var std nanvar nanstd".split())
+_ARG_REDUCTIONS = frozenset("argmax argmin nanargmax nanargmin".split())
+
+
+def sum_dtype(code: str) -> str:
+    """np.sum's accumulator widening: ints below the platform int (and
+    bool) widen to 64-bit."""
+    if code in ("b", "i8", "i16", "i32"):
+        return "i64"
+    if code in ("u8", "u16", "u32"):
+        return "u64"
+    if code == "i":
+        return "i"
+    return code
+
+
+def scalar_kind_of(dtype: str) -> str:
+    if dtype == "?":
+        return "?"
+    kinds = _kindset(dtype)
+    if kinds <= {"f"}:
+        return "float"
+    if kinds <= {"i", "u"}:
+        return "int"
+    if kinds == {"b"}:
+        return "bool"
+    return "?"
+
+
+class FunctionInterpreter:
+    """Interprets one function body, reporting provable contract
+    conflicts through ``report(lineno, message)``.
+
+    ``resolver`` supplies cross-module knowledge (see
+    :class:`~repro.check.shapes.index.ModuleResolver`): whether a dotted
+    call target is numpy, a contracted kernel, or a dtype constant.
+    Body-level checks (broadcast conflicts, return-spec conflicts) fire
+    only when the function itself declares a contract; call-site checks
+    fire everywhere.
+    """
+
+    def __init__(self, resolver, report, contract_spec=None, params=None):
+        self.resolver = resolver
+        self.report = report
+        self.spec = contract_spec
+        self.params = params or []
+
+    # -- driver --------------------------------------------------------
+    def run(self, fn: ast.FunctionDef) -> None:
+        names = [
+            a.arg
+            for a in (fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs)
+            if a.arg not in ("self", "cls")
+        ]
+        if self.spec is not None:
+            env = seed_params(self.spec, names)
+            self._ret_seed = {
+                s: DimSpec("sym", name=s) for s in arg_symbols(self.spec)
+            }
+        else:
+            env = {n: ANY for n in names}
+            self._ret_seed = {}
+        self.visit_block(fn.body, env)
+
+    # -- statements ------------------------------------------------------
+    def visit_block(self, stmts, env: dict) -> None:
+        for stmt in stmts:
+            self.visit_stmt(stmt, env)
+
+    def visit_stmt(self, stmt, env: dict) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.assign(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                self.assign(stmt.target, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                have = env.get(stmt.target.id, ANY)
+                # in-place on an ndarray preserves shape and dtype
+                env[stmt.target.id] = have if have.kind == "array" else ANY
+        elif isinstance(stmt, ast.Return):
+            value = (
+                scalar("none") if stmt.value is None
+                else self.eval(stmt.value, env)
+            )
+            self.check_return(stmt, value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            left, right = dict(env), dict(env)
+            self.visit_block(stmt.body, left)
+            self.visit_block(stmt.orelse, right)
+            env.clear()
+            env.update(self.join(left, right))
+        elif isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self.eval(stmt.iter, env)
+                self.widen_targets(stmt.target, env)
+            else:
+                self.eval(stmt.test, env)
+            for name in self.assigned_names(stmt.body):
+                env[name] = ANY
+            self.visit_block(stmt.body, dict(env))
+            self.visit_block(stmt.orelse, dict(env))
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.widen_targets(item.optional_vars, env)
+            self.visit_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            for name in self.assigned_names([stmt]):
+                env[name] = ANY
+            self.visit_block(stmt.body, dict(env))
+            for handler in stmt.handlers:
+                self.visit_block(handler.body, dict(env))
+            self.visit_block(stmt.orelse, dict(env))
+            self.visit_block(stmt.finalbody, dict(env))
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # nested defs / classes / imports: skipped (driven separately)
+
+    def assign(self, target, value: AVal, env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elems = value.elems if value.kind == "tuple" else None
+            for i, sub in enumerate(target.elts):
+                if elems is not None and i < len(elems) and not isinstance(
+                    sub, ast.Starred
+                ):
+                    self.assign(sub, elems[i], env)
+                else:
+                    self.widen_targets(sub, env)
+        # subscript/attribute stores don't change the bound array's shape
+
+    def widen_targets(self, target, env: dict) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                env[node.id] = ANY
+
+    def assigned_names(self, stmts) -> set[str]:
+        names: set[str] = set()
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    names.add(node.id)
+                elif isinstance(node, (ast.For,)) and isinstance(
+                    node.target, ast.Name
+                ):
+                    names.add(node.target.id)
+        return names
+
+    @staticmethod
+    def join(a: dict, b: dict) -> dict:
+        out = {}
+        for name in set(a) | set(b):
+            va, vb = a.get(name), b.get(name)
+            out[name] = va if va == vb and va is not None else ANY
+        return out
+
+    def check_return(self, stmt, value: AVal) -> None:
+        if self.spec is None or value.kind == "any":
+            return
+        bindings = dict(self._ret_seed)
+        returns = self.spec.returns
+        if len(returns) > 1:
+            if value.kind != "tuple":
+                return
+            if len(value.elems) != len(returns):
+                self.report(
+                    stmt.lineno,
+                    f"returns {len(value.elems)} values where"
+                    f" {len(returns)} declared",
+                )
+                return
+            values = value.elems
+        else:
+            values = (value,)
+        for pos, (v, rspec) in enumerate(zip(values, returns)):
+            conflict = unify_value(rspec, v, bindings)
+            if conflict:
+                which = f"return[{pos}]" if len(returns) > 1 else "return"
+                self.report(
+                    stmt.lineno,
+                    f"{which} {conflict} (declared '{rspec}')",
+                )
+
+    # -- expressions -----------------------------------------------------
+    def eval(self, node, env: dict) -> AVal:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return scalar("bool")
+            if isinstance(v, int):
+                return int_scalar(DimSpec("lit", value=v))
+            if isinstance(v, float):
+                return scalar("float")
+            if isinstance(v, str):
+                return scalar("str")
+            if v is None:
+                return scalar("none")
+            return ANY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, ANY)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return AVal(
+                "tuple",
+                elems=tuple(self.eval(e, env) for e in node.elts),
+            )
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node, env)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.USub) and operand.dim is not None:
+                if operand.dim.kind == "lit":
+                    return int_scalar(
+                        DimSpec("lit", value=-operand.dim.value)
+                    )
+            if isinstance(node.op, ast.Not):
+                return scalar("bool")
+            return operand if operand.kind == "array" else ANY
+        if isinstance(node, ast.Compare):
+            avals = [self.eval(node.left, env)] + [
+                self.eval(c, env) for c in node.comparators
+            ]
+            arrays = [a for a in avals if a.kind == "array"]
+            if arrays:
+                dims = arrays[0].dims
+                for other in arrays[1:]:
+                    dims, conflict = broadcast_dims(dims, other.dims)
+                    self._bcast_conflict(node, conflict)
+                return arr(dims, "b")
+            return scalar("bool")
+        if isinstance(node, ast.BoolOp):
+            vals = [self.eval(v, env) for v in node.values]
+            first = vals[0]
+            return first if all(v == first for v in vals) else ANY
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            a = self.eval(node.body, env)
+            b = self.eval(node.orelse, env)
+            return a if a == b else ANY
+        if isinstance(node, ast.Starred):
+            self.eval(node.value, env)
+            return ANY
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            inner = dict(env)
+            for gen in node.generators:
+                self.eval(gen.iter, inner)
+                self.widen_targets(gen.target, inner)
+                for cond in gen.ifs:
+                    self.eval(cond, inner)
+            for part in ("elt", "key", "value"):
+                sub = getattr(node, part, None)
+                if sub is not None:
+                    self.eval(sub, inner)
+            return ANY
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self.eval(v.value, env)
+            return scalar("str")
+        if isinstance(node, ast.Lambda):
+            return ANY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return ANY
+
+    def _bcast_conflict(self, node, conflict: str | None) -> None:
+        if conflict and self.spec is not None:
+            self.report(
+                node.lineno,
+                f"broadcast can never succeed: axis sizes {conflict}",
+            )
+
+    def eval_attribute(self, node: ast.Attribute, env: dict) -> AVal:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            resolved = self.resolver.resolve(dotted)
+            if resolved is not None:
+                kind, payload = resolved
+                if kind == "numpy":
+                    if payload in ("pi", "e", "euler_gamma", "inf", "nan"):
+                        return scalar("float")
+                    if payload == "newaxis":
+                        return scalar("none")
+                    return ANY
+                if kind == "dtype":
+                    return ANY
+                return ANY
+        base = self.eval(node.value, env)
+        if base.kind == "array":
+            if node.attr == "T" and base.dims is not None:
+                return arr(tuple(reversed(base.dims)), base.dtype)
+            if node.attr == "shape":
+                return AVal("shape", dims=base.dims)
+            if node.attr == "size" and base.dims is not None and len(
+                base.dims
+            ) == 1:
+                return int_scalar(base.dims[0])
+            if node.attr in ("size", "ndim", "itemsize", "nbytes"):
+                return int_scalar()
+            if node.attr in ("real", "imag"):
+                return base
+        return ANY
+
+    def eval_subscript(self, node: ast.Subscript, env: dict) -> AVal:
+        base = self.eval(node.value, env)
+        index = node.slice
+        if base.kind == "shape":
+            idx = self._const_int(index, env)
+            if idx is not None and base.dims is not None:
+                if -len(base.dims) <= idx < len(base.dims):
+                    return int_scalar(base.dims[idx])
+                return int_scalar()
+            if base.dims is not None and isinstance(index, ast.Slice):
+                dims = self._slice_dims(base.dims, index, env)
+                if dims is not None:
+                    return AVal("shape", dims=dims)
+            return int_scalar() if idx is not None else ANY
+        if base.kind == "tuple":
+            idx = self._const_int(index, env)
+            if idx is not None and -len(base.elems) <= idx < len(base.elems):
+                return base.elems[idx]
+            self.eval(index, env)
+            return ANY
+        if base.kind != "array":
+            self.eval(index, env)
+            return ANY
+        if base.dims is None:
+            self.eval(index, env)
+            return arr(None, base.dtype)
+        items = list(index.elts) if isinstance(index, ast.Tuple) else [index]
+        dims: list[DimSpec] | None = []
+        axis = 0
+        advanced = 0
+        for item in items:
+            if isinstance(item, ast.Slice):
+                for bound in (item.lower, item.upper, item.step):
+                    if bound is not None:
+                        self.eval(bound, env)
+                full = (
+                    item.lower is None
+                    and item.upper is None
+                    and item.step is None
+                )
+                if axis < len(base.dims):
+                    dims.append(base.dims[axis] if full else ANY_DIM)
+                axis += 1
+                continue
+            if isinstance(item, ast.Constant) and item.value is None:
+                dims.append(DimSpec("lit", value=1))
+                continue
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                dims = None
+                break
+            aval = self.eval(item, env)
+            if aval.kind == "scalar" or (
+                aval.kind == "any" and self._const_int(item, env) is not None
+            ):
+                axis += 1  # integer index: drops the axis
+                continue
+            if aval.kind == "array":
+                advanced += 1
+                if advanced > 1:
+                    dims = None
+                    break
+                if _kindset(aval.dtype) == {"b"}:
+                    if aval.dims is not None and len(aval.dims) == len(
+                        base.dims
+                    ):
+                        # full-rank boolean mask flattens
+                        return arr((ANY_DIM,), base.dtype)
+                    dims.append(ANY_DIM)
+                    axis += 1
+                elif aval.dims is not None:
+                    dims.extend(aval.dims)
+                    axis += 1
+                else:
+                    dims = None
+                    break
+                continue
+            dims = None
+            break
+        if dims is None:
+            return arr(None, base.dtype)
+        dims.extend(base.dims[axis:])
+        return arr(tuple(dims), base.dtype)
+
+    def _const_int(self, node, env: dict) -> int | None:
+        aval = self.eval(node, env)
+        if (
+            aval.kind == "scalar"
+            and aval.dim is not None
+            and aval.dim.kind == "lit"
+        ):
+            return aval.dim.value
+        return None
+
+    def _slice_dims(self, dims, node: ast.Slice, env):
+        lo = 0 if node.lower is None else self._const_int(node.lower, env)
+        hi = (
+            len(dims) if node.upper is None
+            else self._const_int(node.upper, env)
+        )
+        if lo is None or hi is None or node.step is not None:
+            return None
+        return dims[lo:hi]
+
+    def eval_binop(self, node: ast.BinOp, env: dict) -> AVal:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        if isinstance(node.op, ast.MatMult):
+            return self.eval_matmul(node, left, right)
+        if left.kind == "array" or right.kind == "array":
+            return self._array_binop(node, left, right)
+        if left.kind == "scalar" and right.kind == "scalar":
+            return self._scalar_binop(node, left, right)
+        return ANY
+
+    def _scalar_binop(self, node, left: AVal, right: AVal) -> AVal:
+        kinds = {left.scalar_kind, right.scalar_kind}
+        if "str" in kinds or "?" in kinds or "none" in kinds:
+            return ANY
+        if isinstance(node.op, ast.Div):
+            return scalar("float")
+        if kinds <= {"int", "bool"}:
+            if (
+                isinstance(node.op, (ast.Add, ast.Sub))
+                and left.dim is not None
+                and right.dim is not None
+                and right.dim.kind == "lit"
+            ):
+                delta = (
+                    right.dim.value
+                    if isinstance(node.op, ast.Add)
+                    else -right.dim.value
+                )
+                return int_scalar(shift_dim(left.dim, delta))
+            return int_scalar()
+        return scalar("float")
+
+    def _array_binop(self, node, left: AVal, right: AVal) -> AVal:
+        if left.kind == "array" and right.kind == "array":
+            dims, conflict = broadcast_dims(left.dims, right.dims)
+            self._bcast_conflict(node, conflict)
+            dtype = promote(left.dtype, right.dtype)
+        else:
+            array = left if left.kind == "array" else right
+            other = right if left.kind == "array" else left
+            dims = array.dims
+            if other.kind == "scalar" and other.scalar_kind in (
+                "int", "float", "bool",
+            ):
+                dtype = promote_weak(array.dtype, other.scalar_kind)
+            elif other.kind == "any":
+                dims, dtype = None, "?"
+            else:
+                dtype = "?"
+        if isinstance(node.op, ast.Div):
+            dtype = floatize(dtype)
+        elif isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            pass  # bool/bool stays bool, int/int stays int: promote got it
+        return arr(dims, dtype)
+
+    def eval_matmul(self, node, left: AVal, right: AVal) -> AVal:
+        if left.kind != "array" or right.kind != "array":
+            return ANY
+        dtype = promote(left.dtype, right.dtype)
+        if left.dims is None or right.dims is None:
+            return arr(None, dtype)
+        la, ra = len(left.dims), len(right.dims)
+        inner_l = left.dims[-1]
+        inner_r = right.dims[-2] if ra >= 2 else right.dims[0]
+        if rigid_conflict(inner_l, inner_r) and self.spec is not None:
+            self.report(
+                node.lineno,
+                f"matmul inner dimensions can never match:"
+                f" {inner_l} vs {inner_r}",
+            )
+        if la == 2 and ra == 2:
+            return arr((left.dims[0], right.dims[1]), dtype)
+        if la == 1 and ra == 1:
+            return AVal("scalar", scalar_kind=scalar_kind_of(dtype))
+        if la == 2 and ra == 1:
+            return arr((left.dims[0],), dtype)
+        if la == 1 and ra == 2:
+            return arr((right.dims[1],), dtype)
+        return arr(None, dtype)
+
+    # -- calls -----------------------------------------------------------
+    def eval_call(self, node: ast.Call, env: dict) -> AVal:
+        has_star = any(isinstance(a, ast.Starred) for a in node.args)
+        args = [self.eval(a, env) for a in node.args]
+        kwargs = {}
+        for kw in node.keywords:
+            val = self.eval(kw.value, env)
+            if kw.arg is not None:
+                kwargs[kw.arg] = val
+            else:
+                has_star = True
+        func = node.func
+        dotted = (
+            dotted_name(func)
+            if isinstance(func, (ast.Name, ast.Attribute))
+            else None
+        )
+        if dotted is not None:
+            resolved = self.resolver.resolve(dotted)
+            if resolved is not None:
+                kind, payload = resolved
+                if kind == "numpy":
+                    return self.numpy_call(payload, node, args, kwargs, env)
+                if kind == "contract":
+                    return self.contract_call(
+                        payload, node, args, kwargs, has_star
+                    )
+        if isinstance(func, ast.Name):
+            return self._builtin_call(func.id, args)
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value, env)
+            if base.kind == "array":
+                return self.array_method(
+                    func.attr, base, node, args, kwargs, env
+                )
+            if base.kind == "tuple" and func.attr == "index":
+                return int_scalar()
+        return ANY
+
+    def _builtin_call(self, name: str, args: list[AVal]) -> AVal:
+        a0 = args[0] if args else ANY
+        if name == "len":
+            if a0.kind == "array" and a0.dims is not None and a0.dims:
+                return int_scalar(a0.dims[0])
+            if a0.kind == "tuple":
+                return int_scalar(DimSpec("lit", value=len(a0.elems)))
+            if a0.kind == "shape" and a0.dims is not None:
+                return int_scalar(DimSpec("lit", value=len(a0.dims)))
+            return int_scalar()
+        if name == "int":
+            if a0.kind == "scalar" and a0.dim is not None:
+                return int_scalar(a0.dim)
+            return int_scalar()
+        if name == "float":
+            return scalar("float")
+        if name == "bool":
+            return scalar("bool")
+        if name == "str":
+            return scalar("str")
+        if name in ("min", "max") and args and all(
+            a.kind == "scalar" and a.scalar_kind in ("int", "bool")
+            for a in args
+        ):
+            return int_scalar()
+        if name == "tuple" and a0.kind == "shape":
+            return a0
+        if name in ("abs", "round") and a0.kind == "scalar":
+            return AVal("scalar", scalar_kind=a0.scalar_kind)
+        if name == "sorted":
+            return ANY
+        return ANY
+
+    # numpy ------------------------------------------------------------
+    def _dtype_from_node(self, node, env: dict) -> str:
+        if node is None:
+            return "?"
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return _NP_NAME_TO_CODE.get(node.value, "?")
+        dotted = (
+            dotted_name(node)
+            if isinstance(node, (ast.Name, ast.Attribute))
+            else None
+        )
+        if dotted is None:
+            return "?"
+        resolved = self.resolver.resolve(dotted)
+        if resolved is not None:
+            kind, payload = resolved
+            if kind == "numpy":
+                return _NP_NAME_TO_CODE.get(payload, "?")
+            if kind == "dtype":
+                return payload
+        if dotted == "float":
+            return "f64"
+        if dotted == "int":
+            return "i64"
+        if dotted == "bool":
+            return "b"
+        return "?"
+
+    def _dtype_kw(self, node: ast.Call, env: dict, pos: int | None = None):
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return self._dtype_from_node(kw.value, env)
+        if pos is not None and pos < len(node.args):
+            return self._dtype_from_node(node.args[pos], env)
+        return "?"
+
+    def _shape_from(self, aval: AVal) -> tuple[DimSpec, ...] | None:
+        if aval.kind == "shape":
+            return aval.dims
+        if aval.kind == "tuple":
+            dims = []
+            for e in aval.elems:
+                if e.kind == "scalar" and e.dim is not None:
+                    dims.append(
+                        ANY_DIM
+                        if e.dim.kind == "lit" and e.dim.value < 0
+                        else e.dim
+                    )
+                else:
+                    dims.append(ANY_DIM)
+            return tuple(dims)
+        if aval.kind == "scalar":
+            return (aval.dim,) if aval.dim is not None else (ANY_DIM,)
+        return None
+
+    def _axis_kw(self, node: ast.Call, env: dict, pos: int | None = None):
+        """(axis value or None-for-'no axis given', keepdims?)"""
+        axis_node = None
+        keepdims = False
+        for kw in node.keywords:
+            if kw.arg == "axis":
+                axis_node = kw.value
+            elif kw.arg == "keepdims":
+                keepdims = not (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                )
+        if axis_node is None and pos is not None and pos < len(node.args):
+            axis_node = node.args[pos]
+        if axis_node is None:
+            return None, keepdims
+        return axis_node, keepdims
+
+    def _reduce(self, a0: AVal, node, env, dtype: str, pos=1) -> AVal:
+        axis_node, keepdims = self._axis_kw(node, env, pos)
+        if axis_node is None:
+            return AVal("scalar", scalar_kind=scalar_kind_of(dtype))
+        if a0.dims is None:
+            return arr(None, dtype)
+        axis = self._const_int(axis_node, env)
+        if axis is None or not -len(a0.dims) <= axis < len(a0.dims):
+            return arr(None, dtype)
+        axis %= len(a0.dims)
+        if keepdims:
+            dims = tuple(
+                DimSpec("lit", value=1) if i == axis else d
+                for i, d in enumerate(a0.dims)
+            )
+        else:
+            dims = a0.dims[:axis] + a0.dims[axis + 1:]
+        return arr(dims, dtype)
+
+    def numpy_call(self, name: str, node, args, kwargs, env) -> AVal:
+        a0 = args[0] if args else ANY
+        a1 = args[1] if len(args) > 1 else ANY
+        if name in ("zeros", "ones", "empty", "full"):
+            dims = self._shape_from(a0)
+            default = "f64" if name != "full" else "?"
+            dtype = self._dtype_kw(node, env)
+            return arr(dims, dtype if dtype != "?" else default)
+        if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            dtype = self._dtype_kw(node, env)
+            if dtype == "?":
+                dtype = a0.dtype if a0.kind == "array" else "?"
+            return arr(a0.dims if a0.kind == "array" else None, dtype)
+        if name in ("asarray", "ascontiguousarray", "asfortranarray",
+                    "array", "copy", "require"):
+            dtype = self._dtype_kw(node, env)
+            if a0.kind == "array":
+                return arr(a0.dims, dtype if dtype != "?" else a0.dtype)
+            if a0.kind == "tuple":
+                return arr(
+                    (DimSpec("lit", value=len(a0.elems)),), dtype
+                )
+            return arr(None, dtype)
+        if name == "arange":
+            dtype = self._dtype_kw(node, env)
+            if dtype == "?":
+                kinds = {
+                    a.scalar_kind for a in args if a.kind == "scalar"
+                }
+                dtype = "i64" if kinds <= {"int", "bool"} and kinds else "?"
+            if len(args) == 1 and a0.kind == "scalar" and a0.dim is not None:
+                return arr((a0.dim,), dtype)
+            return arr((ANY_DIM,), dtype)
+        if name == "linspace":
+            return arr((ANY_DIM,), "f64")
+        if name in ("concatenate", "hstack"):
+            if a0.kind != "tuple" or not a0.elems:
+                return arr(None, "?")
+            parts = [e for e in a0.elems if e.kind == "array"]
+            if len(parts) != len(a0.elems):
+                return arr(None, "?")
+            dtype = self._dtype_kw(node, env)
+            if dtype == "?":
+                dtype = parts[0].dtype
+                for p in parts[1:]:
+                    dtype = promote(dtype, p.dtype)
+            ranks = {
+                len(p.dims) for p in parts if p.dims is not None
+            }
+            if len(ranks) != 1 or any(p.dims is None for p in parts):
+                return arr(None, dtype)
+            rank = ranks.pop()
+            axis_node, _ = self._axis_kw(node, env, 1)
+            axis = 0 if axis_node is None else self._const_int(
+                axis_node, env
+            )
+            if name == "hstack":
+                axis = 0 if rank == 1 else 1
+            if axis is None or not -rank <= axis < rank:
+                return arr(None, dtype)
+            axis %= rank
+            dims = []
+            for i in range(rank):
+                if i == axis:
+                    dims.append(ANY_DIM)
+                else:
+                    merged = parts[0].dims[i]
+                    for p in parts[1:]:
+                        merged, _ = _merge_bcast(merged, p.dims[i])
+                    dims.append(merged)
+            return arr(tuple(dims), dtype)
+        if name in ("stack", "vstack", "column_stack", "dstack"):
+            if a0.kind == "tuple" and all(
+                e.kind == "array" for e in a0.elems
+            ) and a0.elems:
+                dtype = a0.elems[0].dtype
+                for e in a0.elems[1:]:
+                    dtype = promote(dtype, e.dtype)
+                return arr(None, dtype)
+            return arr(None, "?")
+        if name == "where":
+            if len(args) == 3:
+                dims, conflict = broadcast_dims(
+                    a1.dims if a1.kind == "array" else self._shape_from(a1),
+                    args[2].dims if args[2].kind == "array" else None,
+                )
+                if a0.kind == "array":
+                    dims, c2 = broadcast_dims(dims, a0.dims)
+                    conflict = conflict or c2
+                self._bcast_conflict(node, conflict)
+                dtype = promote(
+                    a1.dtype if a1.kind == "array" else "?",
+                    args[2].dtype if args[2].kind == "array" else "?",
+                )
+                return arr(dims, dtype)
+            return ANY
+        if name in _FLOAT_UFUNCS:
+            if a0.kind == "array":
+                return arr(a0.dims, floatize(a0.dtype))
+            return scalar("float") if a0.kind == "scalar" else ANY
+        if name in _SAME_UFUNCS:
+            return a0 if a0.kind == "array" else a0
+        if name in _BIN_UFUNCS:
+            return self._np_binary(node, a0, a1, env)
+        if name in _BOOL_UFUNCS:
+            if a0.kind == "array":
+                return arr(a0.dims, "b")
+            return scalar("bool")
+        if name in _BIN_BOOL_UFUNCS:
+            out = self._np_binary(node, a0, a1, env)
+            if out.kind == "array":
+                return arr(out.dims, "b")
+            return scalar("bool")
+        if name == "clip":
+            if a0.kind != "array":
+                return ANY
+            dims, dtype = a0.dims, a0.dtype
+            for bound in args[1:3]:
+                if bound.kind == "array":
+                    dims, conflict = broadcast_dims(dims, bound.dims)
+                    self._bcast_conflict(node, conflict)
+                    dtype = promote(dtype, bound.dtype)
+                elif bound.kind == "scalar" and bound.scalar_kind in (
+                    "int", "float",
+                ):
+                    dtype = promote_weak(dtype, bound.scalar_kind)
+            return arr(dims, dtype)
+        if name in _SUM_REDUCTIONS or name == "cumsum":
+            dtype = self._dtype_kw(node, env)
+            if dtype == "?":
+                dtype = sum_dtype(a0.dtype) if a0.kind == "array" else "?"
+            if name == "cumsum":
+                return arr(
+                    a0.dims if a0.kind == "array" else None, dtype
+                )
+            return self._reduce(a0, node, env, dtype)
+        if name in _MEAN_REDUCTIONS:
+            dtype = a0.dtype if a0.kind == "array" else "?"
+            return self._reduce(a0, node, env, floatize(dtype))
+        if name in _KEEP_REDUCTIONS:
+            return self._reduce(
+                a0, node, env, a0.dtype if a0.kind == "array" else "?"
+            )
+        if name in _ARG_REDUCTIONS:
+            return self._reduce(a0, node, env, "i64")
+        if name in ("any", "all"):
+            return self._reduce(a0, node, env, "b")
+        if name == "count_nonzero":
+            return self._reduce(a0, node, env, "i64")
+        if name in ("dot", "matmul", "inner"):
+            return self.eval_matmul(node, a0, a1)
+        if name == "linalg.norm":
+            dtype = floatize(a0.dtype) if a0.kind == "array" else "f64"
+            return self._reduce(a0, node, env, dtype)
+        if name == "diff":
+            if a0.kind == "array" and a0.dims is not None and a0.dims:
+                n_node = None
+                for kw in node.keywords:
+                    if kw.arg == "n":
+                        n_node = kw.value
+                steps = (
+                    1 if n_node is None
+                    else (self._const_int(n_node, env) or 0)
+                )
+                dims = a0.dims[:-1] + (
+                    shift_dim(a0.dims[-1], -steps)
+                    if steps else ANY_DIM,
+                )
+                return arr(dims, a0.dtype)
+            return arr(None, a0.dtype if a0.kind == "array" else "?")
+        if name == "searchsorted":
+            if a1.kind == "array":
+                return arr(a1.dims, "i64")
+            if a1.kind == "scalar":
+                return int_scalar()
+            return arr(None, "i64")
+        if name == "flatnonzero":
+            return arr((ANY_DIM,), "i64")
+        if name == "bincount":
+            dtype = "f64" if "weights" in kwargs or len(args) > 1 else "i64"
+            return arr((ANY_DIM,), dtype)
+        if name == "unique":
+            if node.keywords:  # return_counts etc. change the arity
+                return ANY
+            return arr(
+                (ANY_DIM,), a0.dtype if a0.kind == "array" else "?"
+            )
+        if name == "repeat":
+            dtype = a0.dtype if a0.kind == "array" else "?"
+            axis_node, _ = self._axis_kw(node, env)
+            if axis_node is None:
+                return arr((ANY_DIM,), dtype)
+            return arr(None, dtype)
+        if name == "tile":
+            return arr(None, a0.dtype if a0.kind == "array" else "?")
+        if name == "reshape":
+            dtype = a0.dtype if a0.kind == "array" else "?"
+            return arr(self._shape_from(a1), dtype)
+        if name == "ravel":
+            return arr(
+                (ANY_DIM,), a0.dtype if a0.kind == "array" else "?"
+            )
+        if name == "transpose":
+            if a0.kind == "array" and a0.dims is not None and len(args) == 1:
+                return arr(tuple(reversed(a0.dims)), a0.dtype)
+            return arr(None, a0.dtype if a0.kind == "array" else "?")
+        if name == "expand_dims":
+            if a0.kind == "array" and a0.dims is not None:
+                axis = self._const_int(node.args[1], env) if len(
+                    node.args
+                ) > 1 else None
+                if axis is not None and 0 <= axis <= len(a0.dims):
+                    dims = (
+                        a0.dims[:axis]
+                        + (DimSpec("lit", value=1),)
+                        + a0.dims[axis:]
+                    )
+                    return arr(dims, a0.dtype)
+            return arr(None, a0.dtype if a0.kind == "array" else "?")
+        if name in ("squeeze", "atleast_1d", "atleast_2d", "take",
+                    "choose", "split", "array_split", "einsum", "outer",
+                    "meshgrid", "nonzero", "unravel_index", "indices"):
+            return ANY
+        if name in ("sort", "flip", "roll"):
+            return a0 if a0.kind == "array" else ANY
+        if name == "argsort":
+            return arr(
+                a0.dims if a0.kind == "array" else None, "i64"
+            )
+        if name in ("allclose", "array_equal", "array_equiv", "isscalar"):
+            return scalar("bool")
+        if name in ("float16", "float32", "float64", "int8", "int16",
+                    "int32", "int64", "uint8", "uint16", "uint32",
+                    "uint64", "bool_", "intp", "float_", "int_"):
+            code = _NP_NAME_TO_CODE[name]
+            if a0.kind == "array":
+                return arr(a0.dims, code)
+            return AVal(
+                "scalar",
+                scalar_kind=scalar_kind_of(code),
+                dim=a0.dim if a0.kind == "scalar" else None,
+            )
+        if name == "frombuffer" or name == "fromiter":
+            return arr((ANY_DIM,), self._dtype_kw(node, env))
+        if name == "errstate" or name.startswith("random"):
+            return ANY
+        return ANY
+
+    def _np_binary(self, node, a: AVal, b: AVal, env) -> AVal:
+        fake = ast.BinOp(
+            left=ast.Constant(value=0),
+            op=ast.Add(),
+            right=ast.Constant(value=0),
+        )
+        fake.lineno = node.lineno
+        return self._array_binop(fake, a, b) if (
+            a.kind == "array" or b.kind == "array"
+        ) else ANY
+
+    def array_method(
+        self, name: str, base: AVal, node, args, kwargs, env
+    ) -> AVal:
+        a0 = args[0] if args else ANY
+        if name == "astype":
+            return arr(base.dims, self._dtype_kw(node, env, pos=0))
+        if name == "copy" or name == "view":
+            return base if name == "copy" else arr(base.dims, "?")
+        if name == "reshape":
+            if len(args) == 1:
+                return arr(self._shape_from(a0), base.dtype)
+            return arr(
+                self._shape_from(AVal("tuple", elems=tuple(args))),
+                base.dtype,
+            )
+        if name in ("ravel", "flatten"):
+            return arr((ANY_DIM,), base.dtype)
+        if name in _SUM_REDUCTIONS:
+            return self._reduce(base, node, env, sum_dtype(base.dtype),
+                                pos=0)
+        if name in _MEAN_REDUCTIONS:
+            return self._reduce(base, node, env, floatize(base.dtype),
+                                pos=0)
+        if name in _KEEP_REDUCTIONS:
+            return self._reduce(base, node, env, base.dtype, pos=0)
+        if name in _ARG_REDUCTIONS:
+            return self._reduce(base, node, env, "i64", pos=0)
+        if name in ("any", "all"):
+            return self._reduce(base, node, env, "b", pos=0)
+        if name == "clip":
+            return arr(base.dims, base.dtype)
+        if name == "item":
+            return AVal(
+                "scalar", scalar_kind=scalar_kind_of(base.dtype)
+            )
+        if name in ("tolist", "tobytes", "dump"):
+            return ANY
+        if name in ("fill", "sort", "partition", "setflags"):
+            return scalar("none")  # in-place, returns None
+        if name == "transpose":
+            if base.dims is not None and not args:
+                return arr(tuple(reversed(base.dims)), base.dtype)
+            return arr(None, base.dtype)
+        if name in ("cumsum",):
+            return arr(base.dims, sum_dtype(base.dtype))
+        if name in ("round",):
+            return base
+        if name == "searchsorted":
+            if a0.kind == "array":
+                return arr(a0.dims, "i64")
+            return int_scalar()
+        if name == "take":
+            return arr(None, base.dtype)
+        return ANY
+
+    # contracted call sites ---------------------------------------------
+    def contract_call(
+        self, info, node, args, kwargs, has_star: bool
+    ) -> AVal:
+        spec: ContractSpec = info.spec
+        bindings: dict[str, DimSpec] = {}
+        if not has_star and len(args) <= len(info.params):
+            for i, (param, aspec) in enumerate(
+                zip(info.params, spec.args)
+            ):
+                if i < len(args):
+                    aval = args[i]
+                elif param in kwargs:
+                    aval = kwargs[param]
+                else:
+                    continue  # defaulted
+                conflict = unify_value(aspec, aval, bindings)
+                if conflict:
+                    self.report(
+                        node.lineno,
+                        f"call to {info.display}: argument"
+                        f" {param!r} {conflict} (declared '{aspec}')",
+                    )
+        returns = [aval_from_spec(r, bindings) for r in spec.returns]
+        if len(returns) == 1:
+            return returns[0]
+        return AVal("tuple", elems=tuple(returns))

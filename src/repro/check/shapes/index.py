@@ -1,0 +1,250 @@
+"""Cross-module contract index and call-target resolution.
+
+Before the rules run, the runner walks every parsed module once and
+collects each ``@contract("...")`` declaration into a
+:class:`ContractIndex` keyed by ``(module fullname, qualname)`` — the
+same pre-pass pattern as the frozen-dataclass collection for R002.
+Alongside the contracts it records every module-level dtype constant
+(``VID_DTYPE = np.int32`` and friends) so ``dtype=VID_DTYPE`` stays
+meaningful to the abstract interpreter across modules.
+
+:class:`ModuleResolver` then gives the interpreter a per-module view:
+one dotted call name in, and out comes "this is numpy attribute X",
+"this is contracted kernel Y", or "no idea" — built from that module's
+``import`` / ``from ... import`` statements (relative imports resolved
+against the module's own package).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..registry import ModuleContext
+from .spec import ContractError, ContractSpec, parse_contract
+
+__all__ = [
+    "ContractIndex",
+    "ContractInfo",
+    "ModuleResolver",
+    "collect_contracts",
+    "contract_decorator",
+    "module_fullname",
+]
+
+
+def module_fullname(relpath: str) -> str:
+    """``src/repro/graphs/snapshot.py`` -> ``repro.graphs.snapshot``."""
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def contract_decorator(fn: ast.FunctionDef) -> tuple[str, int] | None:
+    """The contract text and line of a ``@contract("...")`` decorator,
+    if the function carries one."""
+    for deco in fn.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = None
+        if isinstance(deco.func, ast.Name):
+            name = deco.func.id
+        elif isinstance(deco.func, ast.Attribute):
+            name = deco.func.attr
+        if name != "contract" or not deco.args:
+            continue
+        first = deco.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value, deco.lineno
+    return None
+
+
+@dataclass(frozen=True)
+class ContractInfo:
+    """One declared contract, as the static pass sees it."""
+
+    module: str
+    qualname: str
+    params: tuple[str, ...]
+    spec: ContractSpec
+    lineno: int
+    is_method: bool
+
+    @property
+    def display(self) -> str:
+        return f"{self.module.rsplit('.', 1)[-1]}.{self.qualname}"
+
+
+@dataclass
+class ContractIndex:
+    """Everything the interpreter needs to know about other modules."""
+
+    contracts: dict[tuple[str, str], ContractInfo] = field(
+        default_factory=dict
+    )
+    #: module-level ``NAME = np.<dtype>`` constants, per module
+    dtype_constants: dict[tuple[str, str], str] = field(default_factory=dict)
+    modules: set[str] = field(default_factory=set)
+
+    def lookup(self, module: str, qualname: str) -> ContractInfo | None:
+        return self.contracts.get((module, qualname))
+
+
+_NP_DTYPE_NAMES = {
+    "float16": "f16", "float32": "f32", "float64": "f64",
+    "int8": "i8", "int16": "i16", "int32": "i32", "int64": "i64",
+    "uint8": "u8", "uint16": "u16", "uint32": "u32", "uint64": "u64",
+    "bool_": "b", "intp": "i64",
+}
+
+
+def _fn_params(fn: ast.FunctionDef) -> tuple[str, ...]:
+    return tuple(
+        a.arg
+        for a in (fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    )
+
+
+def collect_contracts(ctxs: list[ModuleContext]) -> ContractIndex:
+    """Pre-pass: parse every ``@contract`` in the tree (malformed ones
+    are skipped here — importing the module would raise anyway) and
+    record dtype constants and known module names."""
+    index = ContractIndex()
+    for ctx in ctxs:
+        module = module_fullname(ctx.relpath)
+        index.modules.add(module)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.Attribute
+                ):
+                    code = _NP_DTYPE_NAMES.get(node.value.attr)
+                    if code is not None:
+                        index.dtype_constants[(module, target.id)] = code
+            fns: list[tuple[str, ast.FunctionDef, bool]] = []
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fns.append((node.name, node, False))
+            elif isinstance(node, ast.ClassDef):
+                fns.extend(
+                    (f"{node.name}.{sub.name}", sub, True)
+                    for sub in node.body
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                )
+            for qualname, fn, is_method in fns:
+                found = contract_decorator(fn)
+                if found is None:
+                    continue
+                try:
+                    spec = parse_contract(found[0])
+                except ContractError:
+                    continue
+                index.contracts[(module, qualname)] = ContractInfo(
+                    module=module,
+                    qualname=qualname,
+                    params=_fn_params(fn),
+                    spec=spec,
+                    lineno=fn.lineno,
+                    is_method=is_method,
+                )
+    return index
+
+
+class ModuleResolver:
+    """Resolve dotted call names inside one module.
+
+    ``resolve("np.zeros")`` -> ``("numpy", "zeros")``;
+    ``resolve("snapshot.build_csr")`` -> ``("contract", ContractInfo)``
+    when that kernel declares one; ``resolve("VID_DTYPE")`` ->
+    ``("dtype", "i32")``; anything unknown -> ``None``.
+    """
+
+    def __init__(self, ctx: ModuleContext, index: ContractIndex):
+        self.index = index
+        self.module = module_fullname(ctx.relpath)
+        #: local name -> absolute dotted path it stands for
+        self.aliases: dict[str, str] = {}
+        package = (
+            self.module
+            if ctx.relpath.endswith("__init__.py")
+            else self.module.rsplit(".", 1)[0] if "." in self.module else ""
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.aliases[local] = (
+                        alias.name if alias.asname else
+                        alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _from_base(node: ast.ImportFrom, package: str) -> str | None:
+        if node.level == 0:
+            return node.module
+        parts = package.split(".") if package else []
+        up = node.level - 1
+        if up > len(parts):
+            return None
+        parts = parts[: len(parts) - up]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts) if parts else None
+
+    def resolve(self, dotted: str):
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        base = self.aliases.get(head)
+        if base is None:
+            # a plain name: maybe a top-level function of this module,
+            # or a module-level dtype constant
+            if not rest:
+                info = self.index.lookup(self.module, head)
+                if info is not None:
+                    return ("contract", info)
+                code = self.index.dtype_constants.get((self.module, head))
+                if code is not None:
+                    return ("dtype", code)
+            return None
+        full = base.split(".") + rest
+        if full[0] == "numpy":
+            return ("numpy", ".".join(full[1:])) if len(full) > 1 else None
+        # try every module/qualname split, longest module first
+        for cut in range(len(full) - 1, 0, -1):
+            module = ".".join(full[:cut])
+            if module not in self.index.modules:
+                continue
+            qualname = ".".join(full[cut:])
+            info = self.index.lookup(module, qualname)
+            if info is not None:
+                return ("contract", info)
+            code = self.index.dtype_constants.get((module, qualname))
+            if code is not None:
+                return ("dtype", code)
+            return None
+        # the alias itself may name an imported object: "build_csr"
+        if not rest and "." in base:
+            module, name = base.rsplit(".", 1)
+            if module in self.index.modules:
+                info = self.index.lookup(module, name)
+                if info is not None:
+                    return ("contract", info)
+                code = self.index.dtype_constants.get((module, name))
+                if code is not None:
+                    return ("dtype", code)
+        return None

@@ -19,7 +19,7 @@ Commands
 ``generate``
     Generate a synthetic dataset and save it as a ``.npz`` archive.
 ``check``
-    Run the repo's static-analysis pass (rules R001-R006, see
+    Run the repo's static-analysis pass (rules R001-R008, see
     docs/static_analysis.md); exits non-zero on any finding.
 ``perf``
     Run the hot-path performance suite (event-application throughput,
@@ -145,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="repo root for relative paths and config lookup")
     chk.add_argument("--list-rules", action="store_true",
                      help="print the registered rules and exit")
+    chk.add_argument("--format", choices=("text", "json", "sarif"),
+                     default="text", dest="output_format",
+                     help="output format (json/sarif for tooling; the"
+                     " exit-code gate is identical)")
+    chk.add_argument("--statistics", action="store_true",
+                     help="print per-rule finding counts and wall time"
+                     " to stderr")
 
     return p
 
@@ -410,6 +417,10 @@ def cmd_check(args) -> int:
         argv += ["--select", code]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.output_format != "text":
+        argv += ["--format", args.output_format]
+    if args.statistics:
+        argv.append("--statistics")
     return check_main(argv)
 
 

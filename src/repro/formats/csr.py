@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..graphs.snapshot import build_csr
 from .base import AccessCost, MultiSnapshotStorage, WindowSelection
 
@@ -41,6 +42,7 @@ class SnapshotCSRStorage(MultiSnapshotStorage):
             self._touched_per_snapshot.append(touched)
 
     # ------------------------------------------------------------------
+    @contract("int -> (k,) i64, (k,) i64")
     def gather(self, source: int) -> tuple[np.ndarray, np.ndarray]:
         tgts, tss = [], []
         for k, (indptr, indices) in enumerate(self._per_snapshot):

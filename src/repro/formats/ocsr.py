@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..check.sanitizer import check_ocsr, sanitizer_enabled
+from ..check.shapes import contract
 from .base import AccessCost, MultiSnapshotStorage, WindowSelection
 
 __all__ = ["OCSRStorage"]
@@ -98,10 +99,12 @@ class OCSRStorage(MultiSnapshotStorage):
             return slice(0, 0)
         return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
 
+    @contract("int -> (k,) i, (k,) i")
     def gather(self, source: int) -> tuple[np.ndarray, np.ndarray]:
         sl = self.run(source)
         return self.tindex[sl], self.timestamp[sl]
 
+    @contract("int, int -> (dim,) f")
     def feature_row(self, vertex: int, snapshot: int) -> np.ndarray:
         """The feature version of ``vertex`` valid at ``snapshot`` —
         the latest version whose start <= snapshot."""

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..check.shapes import contract
 from .dynamic import DynamicGraph
 from .snapshot import FEAT_DTYPE, CSRSnapshot, build_csr
 
@@ -88,6 +89,9 @@ class DynamicGraphSpec:
     seed: int = 0
 
 
+# the duplicate/self-loop trim can return fewer than num_edges rows,
+# hence the free leading return dim
+@contract("int, int, float, _ -> (*, 2) i64")
 def chung_lu_edges(
     num_vertices: int,
     num_edges: int,

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.shapes import contract
 from .dynamic import DynamicGraph
 from .snapshot import FEAT_DTYPE, CSRSnapshot, build_csr
 
@@ -151,6 +152,7 @@ def _synthesize_features(
     return feats
 
 
+@contract("_, int, int, int, ?(n,f) f, str, int, str -> _")
 def load_edge_list(
     source,
     *,

@@ -21,6 +21,8 @@ from typing import Iterable
 
 import numpy as np
 
+from ..check.shapes import contract
+
 __all__ = [
     "AGGREGATE_KERNELS",
     "CSRSnapshot",
@@ -40,6 +42,11 @@ PTR_DTYPE = np.int64  # CSR row pointers
 FEAT_DTYPE = np.float32  # vertex features
 
 
+# src/dst carry independent symbols (and any dtype) on purpose: the body
+# owns the equal-length ValueError and the asarray coercion, and the
+# empty-graph idiom passes float64 ``np.array([])``.  dedup can shrink
+# indices below the input edge count, hence the free return dim.
+@contract("n, (e,) ?, (m,) ? -> (n+1,) i64, (*,) i32")
 def build_csr(
     num_vertices: int,
     src: np.ndarray,
@@ -100,6 +107,7 @@ def build_csr(
     return indptr, indices
 
 
+@contract("(n+1,) i -> (n,) i")
 def degrees_from_indptr(indptr: np.ndarray) -> np.ndarray:
     """Out-degrees as a view-friendly diff of the row-pointer array."""
     return np.diff(indptr)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.shapes import contract
 from .dynamic import SnapshotDelta, snapshot_delta
 from .snapshot import CSRSnapshot, build_csr
 
@@ -68,6 +69,7 @@ class UpdateEvent:
     payload: tuple[int, int] | np.ndarray | None = None
 
 
+@contract("_, ?(n,f) f -> _")
 def delta_to_events(
     delta: SnapshotDelta, new_features: np.ndarray | None = None
 ) -> list[UpdateEvent]:
@@ -100,6 +102,7 @@ def delta_to_events(
     return events
 
 
+@contract("_, int, int, ?(n,) b, _ -> _")
 def event_violation(
     ev,
     *,

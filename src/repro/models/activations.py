@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.shapes import contract
+
 __all__ = ["sigmoid", "tanh", "relu", "softmax", "ACTIVATIONS"]
 
 
+@contract("(...) f -> (...) f")
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Logistic sigmoid, computed stably for large |x|."""
     out = np.empty_like(x, dtype=np.float64)
@@ -23,16 +26,19 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     return out.astype(x.dtype, copy=False)
 
 
+@contract("(...) f -> (...) f")
 def tanh(x: np.ndarray) -> np.ndarray:
     """Hyperbolic tangent (NumPy's is already stable)."""
     return np.tanh(x)
 
 
+@contract("(...) f -> (...) f")
 def relu(x: np.ndarray) -> np.ndarray:
     """Rectified linear unit."""
     return np.maximum(x, 0.0)
 
 
+@contract("(...) f, int -> (...) f")
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Row-stable softmax."""
     z = x - x.max(axis=axis, keepdims=True)

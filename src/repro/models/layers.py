@@ -19,12 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..graphs.snapshot import CSRSnapshot
 from .activations import ACTIVATIONS
 
 __all__ = ["GCNLayer", "GCNStack", "glorot"]
 
 
+@contract("_, fin, fout -> (fin, fout) f32")
 def glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
     """Glorot/Xavier-uniform initialisation (float32)."""
     limit = np.sqrt(6.0 / (fan_in + fan_out))
@@ -68,10 +70,12 @@ class GCNLayer:
     def out_dim(self) -> int:
         return self.weight.shape[1]
 
+    @contract("(n, *) f -> (n, *) f")
     def combine(self, x: np.ndarray) -> np.ndarray:
         """The dense half (CPE): ``x @ W + b`` without the activation."""
         return x @ self.weight + self.bias
 
+    @contract("_, (n, *) f -> (n, *) f")
     def forward(self, snap: CSRSnapshot, x: np.ndarray) -> np.ndarray:
         """Full layer: aggregate over ``snap``, combine, activate.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import CSRSnapshot
 
@@ -30,6 +31,7 @@ __all__ = [
 ]
 
 
+@contract("(n,f) f, _, int, float, int -> (f+1,) f64")
 def fit_link_decoder(
     embeddings: np.ndarray,
     snap: CSRSnapshot,
@@ -58,6 +60,7 @@ def fit_link_decoder(
     return np.linalg.solve(gram, xb.T @ y)
 
 
+@contract("_, m, _ -> (m, 2) i64")
 def sample_negative_edges(
     snap: CSRSnapshot, num: int, *, rng: np.random.Generator
 ) -> np.ndarray:
@@ -90,6 +93,7 @@ def sample_negative_edges(
     return np.concatenate(out)[:num]
 
 
+@contract("(p,) ?, (q,) ? -> float")
 def auc_score(pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
     """ROC-AUC via the Mann-Whitney U statistic (ties counted half)."""
     if len(pos_scores) == 0 or len(neg_scores) == 0:
@@ -113,6 +117,7 @@ def auc_score(pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
     return float(u / (n_pos * n_neg))
 
 
+@contract("(n,f) f, _, ?(f+1,) f64, int, int -> float")
 def link_prediction_auc(
     embeddings: np.ndarray,
     next_snap: CSRSnapshot,
@@ -147,6 +152,7 @@ def link_prediction_auc(
     return auc_score(score(pos), score(neg))
 
 
+@contract("_, _, _, int, int, int -> float")
 def temporal_link_prediction_auc(
     outputs: list[np.ndarray],
     graph: DynamicGraph,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..graphs.dynamic import DynamicGraph
 from .layers import GCNStack
 
@@ -71,6 +72,7 @@ class RidgeReadout:
         return float(np.mean(self.predict(x) == y))
 
 
+@contract("_, int, int -> (t, n) i64")
 def make_teacher_labels(
     window: DynamicGraph, num_classes: int = 4, *, seed: int = 1234
 ) -> np.ndarray:
@@ -91,6 +93,7 @@ def make_teacher_labels(
     return labels
 
 
+@contract("n, float, int -> (*,) i64, (*,) i64")
 def split_vertices(
     num_vertices: int, train_frac: float = 0.6, *, seed: int = 7
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -110,6 +113,7 @@ def _gather_samples(embeddings, labels, window, mask):
     return np.concatenate(xs), np.concatenate(ys)
 
 
+@contract("_, (t, n) i, _, float, float, int -> _")
 def fit_readout(
     embeddings: list[np.ndarray],
     labels: np.ndarray,
@@ -129,6 +133,7 @@ def fit_readout(
     return RidgeReadout(reg=reg).fit(x_tr, y_tr)
 
 
+@contract("_, (t, n) i, _, _, float, int -> float")
 def test_vertex_accuracy(
     embeddings: list[np.ndarray],
     labels: np.ndarray,
@@ -155,6 +160,7 @@ def test_vertex_accuracy(
     return readout.accuracy(x_te, y_te)
 
 
+@contract("_, (t, n) i, _, float, float, int, _ -> float")
 def evaluate_accuracy(
     embeddings: list[np.ndarray],
     labels: np.ndarray,

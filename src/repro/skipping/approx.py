@@ -26,6 +26,7 @@ import abc
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..models.activations import sigmoid, tanh
 from ..models.rnn import (
     ElmanCell,
@@ -54,16 +55,19 @@ __all__ = [
 # ----------------------------------------------------------------------
 # approximation primitives
 # ----------------------------------------------------------------------
+@contract("(...) f -> (...) f")
 def hard_sigmoid(x: np.ndarray) -> np.ndarray:
     """Piecewise-linear sigmoid: ``clip(0.25 x + 0.5, 0, 1)``."""
     return np.clip(0.25 * x + 0.5, 0.0, 1.0).astype(x.dtype, copy=False)
 
 
+@contract("(...) f -> (...) f")
 def hard_tanh(x: np.ndarray) -> np.ndarray:
     """Piecewise-linear tanh: ``clip(x, -1, 1)``."""
     return np.clip(x, -1.0, 1.0).astype(x.dtype, copy=False)
 
 
+@contract("(...) f, int -> (...) f32")
 def truncate_mantissa(x: np.ndarray, bits: int) -> np.ndarray:
     """Keep only the top ``bits`` mantissa bits of float32 values —
     the operand rounding of a truncated hardware multiplier."""
@@ -75,6 +79,7 @@ def truncate_mantissa(x: np.ndarray, bits: int) -> np.ndarray:
     return (raw & mask).view(np.float32)
 
 
+@contract("(...) f, float -> (...) f32")
 def quantize(x: np.ndarray, step: float) -> np.ndarray:
     """Uniform fixed-point quantisation with the given step size."""
     if step <= 0:
@@ -82,6 +87,7 @@ def quantize(x: np.ndarray, step: float) -> np.ndarray:
     return (np.round(x / step) * step).astype(np.float32, copy=False)
 
 
+@contract("_, (n,*) f, _ -> (n,*) f32, _")
 def generic_cell_step(
     cell: RecurrentCell,
     x: np.ndarray,

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..check.shapes import contract
 from ..models.activations import sigmoid, tanh
 from ..models.rnn import (
     ElmanCell,
@@ -37,6 +38,7 @@ from ..models.rnn import (
 __all__ = ["generate_delta", "CondensedDelta", "condense", "DeltaCellCache"]
 
 
+@contract("(n,f) f, (n,f) f -> (n,f) f32")
 def generate_delta(
     z_curr: np.ndarray, z_prev: np.ndarray, *, epsilon: float = 1e-3
 ) -> np.ndarray:
@@ -89,6 +91,7 @@ class CondensedDelta:
         return out
 
 
+@contract("(n,f) f -> _")
 def condense(delta: np.ndarray) -> CondensedDelta:
     """Multi-level zero-value filtering: mask generation + packing.
 

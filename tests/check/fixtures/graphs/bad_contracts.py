@@ -1,0 +1,47 @@
+"""R007 fixture: contracted kernels whose bodies provably break their
+declarations.  Line numbers are pinned by tests/check/test_rules.py."""
+
+import numpy as np
+
+from repro.check.shapes import contract
+
+__all__ = [
+    "wrong_dtype_return",
+    "rank_changing_broadcast",
+    "bad_call_site",
+    "clean_kernel",
+    "bad_contract_text",
+]
+
+
+@contract("(n, f) f32 -> (n, f) f32")
+def wrong_dtype_return(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float64)  # dtype f64 where f32 declared
+
+
+@contract("(n,) f32 -> (n,) f32")
+def rank_changing_broadcast(x: np.ndarray) -> np.ndarray:
+    return x[:, None] * x[None, :]  # rank 2 where rank 1 declared
+
+
+@contract("(n, f) f32, (e,) i64 -> (e, f) f32")
+def gather_rows(feats: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    return feats[idx]
+
+
+@contract("(n, f) f32 -> (n, f) f32")
+def bad_call_site(x: np.ndarray) -> np.ndarray:
+    sel = np.zeros(4, dtype=np.float32)
+    return gather_rows(x, sel)  # idx dtype f32 where i64 declared
+
+
+@contract("(n, f) f32 -> (n, f) f32")
+def clean_kernel(x: np.ndarray) -> np.ndarray:
+    y = np.zeros_like(x)
+    y += x
+    return y
+
+
+@contract("(n, f) q8 -> (n,) f32")
+def bad_contract_text(x: np.ndarray) -> np.ndarray:
+    return x.sum(axis=1)

@@ -1,0 +1,33 @@
+"""R008 fixture: public array kernels with and without contracts."""
+
+import numpy as np
+
+from repro.check.shapes import contract
+
+__all__ = [
+    "covered_kernel",
+    "uncovered_kernel",
+    "suppressed_kernel",
+    "not_an_array_api",
+]
+
+
+@contract("(n,) f -> (n,) f")
+def covered_kernel(x: np.ndarray) -> np.ndarray:
+    return x * 2.0
+
+
+def uncovered_kernel(x: np.ndarray) -> np.ndarray:
+    return x + 1.0
+
+
+def suppressed_kernel(x: np.ndarray) -> np.ndarray:  # repro: noqa R008
+    return x - 1.0
+
+
+def not_an_array_api(name: str) -> str:
+    return name.upper()
+
+
+def _private_kernel(x: np.ndarray) -> np.ndarray:
+    return x

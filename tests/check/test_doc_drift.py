@@ -1,0 +1,66 @@
+"""Doc-drift gate: the audited suppression inventory must match docs.
+
+``docs/static_analysis.md`` promises a complete table of every
+``# repro: noqa`` suppression under ``src/repro`` and why it is there.
+This test rebuilds the ground truth from the tree and fails the moment
+a suppression is added, removed, or moved without the table keeping up
+— in either direction, with a diff naming the drifted entries.
+"""
+
+from pathlib import Path
+
+from repro.check.inventory import collect_noqa_inventory, parse_inventory_table
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+DOC = REPO / "docs" / "static_analysis.md"
+
+
+def _diff(actual: dict, documented: dict) -> str:
+    lines = []
+    for key in sorted(set(actual) | set(documented)):
+        a, d = actual.get(key, 0), documented.get(key, 0)
+        if a != d:
+            path, code = key
+            lines.append(f"  {path} {code}: tree has {a}, table says {d}")
+    return "\n".join(lines)
+
+
+def test_documented_inventory_matches_tree():
+    actual = collect_noqa_inventory(SRC)
+    documented = parse_inventory_table(DOC.read_text(encoding="utf-8"))
+    assert actual == documented, (
+        "suppression inventory drift — update the table in "
+        "docs/static_analysis.md:\n" + _diff(actual, documented)
+    )
+
+
+def test_tree_has_no_bare_suppressions():
+    # Every suppression names its codes; a bare ``# repro: noqa`` would
+    # silently disable all current *and future* rules on that line.
+    bare = [p for (p, code) in collect_noqa_inventory(SRC) if code == "all"]
+    assert bare == []
+
+
+def test_parse_inventory_table_reads_counts_and_code_lists():
+    md = (
+        "| Where | Rule | Why |\n"
+        "|---|---|---|\n"
+        "| `a/b.py` (×3) | R006 | hot loop |\n"
+        "| `c.py` | R001, R003 | clock + units |\n"
+        "| not a row | R001 | ignored |\n"
+    )
+    assert parse_inventory_table(md) == {
+        ("a/b.py", "R006"): 3,
+        ("c.py", "R001"): 1,
+        ("c.py", "R003"): 1,
+    }
+
+
+def test_collect_ignores_docstring_mentions(tmp_path):
+    mod = tmp_path / "m.py"
+    mod.write_text(
+        '"""Mentions # repro: noqa R001 in prose only."""\n'
+        "import random  # repro: noqa R001\n"
+    )
+    assert collect_noqa_inventory(tmp_path) == {("m.py", "R001"): 1}

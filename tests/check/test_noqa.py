@@ -1,0 +1,74 @@
+"""Edge cases of the ``# repro: noqa`` suppression syntax.
+
+The pattern is load-bearing twice over: the runner drops findings with
+it, and the doc-drift gate rebuilds the audited suppression inventory
+from it — a regex that over- or under-matches silently weakens the CI
+gate, so its corners are pinned here.
+"""
+
+from repro.check.findings import Finding
+from repro.check.runner import NOQA_PATTERN, filter_noqa
+
+
+def codes_of(line: str):
+    """Parsed code list for a comment line: None = no match, () = bare."""
+    m = NOQA_PATTERN.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return ()
+    return tuple(c.strip() for c in codes.split(","))
+
+
+def test_bare_noqa_matches_all_codes():
+    assert codes_of("x = 1  # repro: noqa") == ()
+
+
+def test_single_code():
+    assert codes_of("x = 1  # repro: noqa R006") == ("R006",)
+
+
+def test_code_list_with_odd_whitespace():
+    assert codes_of("x  #  repro:   noqa   R001 ,R003,  R006") == (
+        "R001", "R003", "R006",
+    )
+
+
+def test_trailing_prose_does_not_extend_the_code_list():
+    got = codes_of("y  # repro: noqa R006 — bounded by max degree")
+    assert got == ("R006",)
+
+
+def test_no_space_typo_does_not_suppress():
+    # ``noqaR006`` must not silently act as a bare suppress-everything.
+    assert codes_of("x = 1  # repro: noqaR006") is None
+
+
+def test_unrelated_comment_does_not_match():
+    assert codes_of("x = 1  # repro: this is fine") is None
+    assert codes_of("x = 1  # noqa") is None  # flake8 noqa is not ours
+
+
+def test_unknown_codes_parse_but_only_suppress_themselves():
+    assert codes_of("x  # repro: noqa R999") == ("R999",)
+    f = Finding(path="m.py", line=1, code="R001", message="boom")
+    kept = filter_noqa([f], {"m.py": ["import random  # repro: noqa R999"]})
+    assert kept == [f]
+
+
+def test_filter_noqa_bare_drops_everything_on_the_line():
+    f = Finding(path="m.py", line=1, code="R001", message="boom")
+    assert filter_noqa([f], {"m.py": ["import random  # repro: noqa"]}) == []
+
+
+def test_filter_noqa_listed_code_drops_only_listed():
+    lines = {"m.py": ["import random  # repro: noqa R001, R004"]}
+    hit = Finding(path="m.py", line=1, code="R001", message="boom")
+    miss = Finding(path="m.py", line=1, code="R006", message="loop")
+    assert filter_noqa([hit, miss], lines) == [miss]
+
+
+def test_filter_noqa_out_of_range_line_is_kept():
+    f = Finding(path="m.py", line=99, code="R001", message="boom")
+    assert filter_noqa([f], {"m.py": ["x = 1"]}) == [f]

@@ -23,7 +23,9 @@ def findings_for(relpath: str, code: str):
 
 
 def test_registry_has_all_rules():
-    assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    assert sorted(RULES) == [
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+    ]
 
 
 def test_r001_determinism_findings():
@@ -142,6 +144,47 @@ def test_r006_message_names_the_hot_noun():
     assert "'keys'" in by_line[31]
 
 
+def test_r007_contract_consistency_findings():
+    path = "graphs/bad_contracts.py"
+    found = scan_paths(
+        [FIXTURES / path], config=CheckConfig(), select=["R007"],
+        root=FIXTURES,
+    )
+    by_line = {f.line: f.message for f in found}
+    assert set(by_line) == {19, 24, 35, 45}
+    assert "return dtype f64 where f32 declared" in by_line[19]
+    assert "return rank 2 where rank 1 declared" in by_line[24]
+    assert "argument 'idx' dtype f32 where i64 declared" in by_line[35]
+    assert "bad contract" in by_line[45] and "q8" in by_line[45]
+    # clean_kernel and gather_rows produce nothing
+    assert all("clean_kernel" not in m and "in gather_rows" not in m
+               for m in by_line.values())
+
+
+def test_r007_only_fires_under_contract_paths():
+    src = (FIXTURES / "graphs" / "bad_contracts.py").read_text()
+    copy = FIXTURES / "relocated_contracts.py"
+    copy.write_text(src)
+    try:
+        assert findings_for("relocated_contracts.py", "R007") == set()
+    finally:
+        copy.unlink()
+
+
+def test_r008_contract_coverage_findings():
+    path = "graphs/bad_coverage.py"
+    found = scan_paths(
+        [FIXTURES / path], config=CheckConfig(), select=["R008"],
+        root=FIXTURES,
+    )
+    # only uncovered_kernel: covered has a contract, suppressed carries a
+    # noqa, not_an_array_api has no ndarray in its signature, and
+    # _private_kernel is not public.
+    assert [(f.path, f.line) for f in found] == [(path, 20)]
+    assert "uncovered_kernel" in found[0].message
+    assert "noqa R008" in found[0].message  # message explains the escape
+
+
 def test_clean_fixture_has_no_findings():
     found = scan_paths(
         [FIXTURES / "clean.py"], config=CheckConfig(), root=FIXTURES
@@ -224,7 +267,8 @@ def test_cli_list_rules(capsys):
 
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+    for code in ("R001", "R002", "R003", "R004", "R005", "R006",
+                 "R007", "R008"):
         assert code in out
 
 
