@@ -34,6 +34,14 @@ Commands
 ``chaos``
     Run a seeded fault-injection campaign through the resilient serving
     path and print the incident report (see docs/resilience.md).
+    ``--cluster`` runs the campaign against the sharded serving layer
+    instead (shard crashes / stalls / slow shards / torn checkpoints,
+    see docs/serving.md) and verifies bit-identity against the
+    unsharded engine.
+``dlq``
+    Inspect a ``DeadLetterQueue`` capture (written by ``--dlq-out`` or
+    :meth:`DeadLetterQueue.save`) and optionally re-drain it back
+    through guarded ingestion against a dataset's snapshots.
 
 All commands are deterministic for fixed arguments.
 """
@@ -52,6 +60,7 @@ __all__ = [
     "cmd_classify",
     "cmd_compare",
     "cmd_datasets",
+    "cmd_dlq",
     "cmd_generate",
     "cmd_perf",
     "cmd_plan",
@@ -107,6 +116,33 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--window", type=int, default=4)
     ch.add_argument("--faults-per-kind", type=int, default=1)
     ch.add_argument("--fault-seed", type=int, default=7)
+    ch.add_argument("--cluster", action="store_true",
+                    help="run the campaign against the sharded serving"
+                         " layer (worker crash/stall/slow/torn-checkpoint"
+                         " faults, bit-identity verified)")
+    ch.add_argument("--shards", type=int, default=4,
+                    help="shard count for --cluster (default 4)")
+    ch.add_argument("--tenants", type=int, default=1,
+                    help="tenant count for --cluster (default 1)")
+    ch.add_argument("--smoke", action="store_true",
+                    help="short CI-sized campaign (small model, few"
+                         " snapshots)")
+    ch.add_argument("--report-out", metavar="JSON",
+                    help="write the campaign report as a JSON artefact")
+    ch.add_argument("--dlq-out", metavar="NPZ",
+                    help="write the dead-letter queue as an .npz capture")
+
+    dlq = sub.add_parser("dlq", help="inspect / re-drain a dead-letter"
+                                     " capture")
+    dlq.add_argument("capture", help="path to a DeadLetterQueue .npz"
+                                     " capture")
+    _common(dlq)
+    dlq.add_argument("--redrain", action="store_true",
+                     help="re-validate event letters against the"
+                          " dataset's snapshots through guarded ingestion")
+    dlq.add_argument("--out", metavar="NPZ",
+                     help="with --redrain: write the still-poison"
+                          " remainder to this capture")
 
     perf = sub.add_parser("perf", help="run the hot-path performance suite")
     perf.add_argument("--smoke", action="store_true",
@@ -332,6 +368,8 @@ def cmd_generate(args) -> int:
 def cmd_chaos(args) -> int:
     from .resilience import FaultPlan, run_chaos_campaign
 
+    if args.cluster:
+        return _chaos_cluster(args)
     g, m = _make(args)
     plan = FaultPlan.generate(
         seed=args.fault_seed,
@@ -345,6 +383,84 @@ def cmd_chaos(args) -> int:
     complete = len(report.outputs) == g.num_snapshots
     print(f"  stream complete     : {complete}")
     return 0 if complete else 1
+
+
+def _chaos_cluster(args) -> int:
+    import json
+
+    from .graphs import load_dataset
+    from .models import make_model
+    from .resilience import DeadLetterQueue, FaultPlan
+    from .serving import run_cluster_campaign
+
+    snapshots = 6 if args.smoke else args.snapshots
+    hidden = 8 if args.smoke else args.hidden
+    graphs = {
+        f"tenant-{i}": load_dataset(
+            args.dataset, num_snapshots=snapshots, seed=args.seed + i
+        )
+        for i in range(max(1, args.tenants))
+    }
+    dim = next(iter(graphs.values())).dim
+
+    def factory():
+        return make_model(args.model, dim, hidden, seed=args.seed)
+
+    plan = FaultPlan.generate_cluster(
+        seed=args.fault_seed,
+        num_steps=snapshots,
+        num_shards=args.shards,
+        per_shard=args.faults_per_kind,
+    )
+    report = run_cluster_campaign(
+        factory,
+        graphs,
+        plan,
+        num_shards=args.shards,
+        window_size=args.window,
+        seed=args.seed,
+    )
+    print(f"{args.model} on {args.dataset} x{len(graphs)} tenants:"
+          f" {len(plan)} shard faults across {args.shards} shards"
+          f" (fault seed {args.fault_seed})")
+    print(report.summary())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.report_out}")
+    if args.dlq_out:
+        capture = DeadLetterQueue()
+        capture.letters = list(report.dead_letters)
+        capture.save(args.dlq_out)
+        print(f"wrote {args.dlq_out}: {len(capture)} dead letters")
+    return 0 if report.identical else 1
+
+
+def cmd_dlq(args) -> int:
+    from .graphs import load_dataset
+    from .resilience import DeadLetterQueue, redrain_dead_letters
+
+    queue = DeadLetterQueue.load(args.capture)
+    print(f"{args.capture}: {len(queue)} dead letters")
+    tally = queue.by_reason()
+    for reason in sorted(tally):
+        print(f"  {reason:<24}: {tally[reason]}")
+    for letter in queue.letters:
+        print(f"  step {letter.step:>4}: {letter.reason}"
+              f" ({type(letter.payload).__name__})")
+    if not args.redrain:
+        return 0
+    g = load_dataset(args.dataset, num_snapshots=args.snapshots,
+                     seed=args.seed)
+    readmitted, still_poison = redrain_dead_letters(queue, g)
+    print(f"re-drain against {args.dataset}: {len(readmitted)} readmitted,"
+          f" {len(still_poison)} still poison")
+    if args.out:
+        remainder = DeadLetterQueue()
+        remainder.letters = list(still_poison)
+        remainder.save(args.out)
+        print(f"wrote {args.out}: {len(remainder)} still-poison letters")
+    return 0
 
 
 def cmd_plan(args) -> int:
@@ -436,6 +552,7 @@ COMMANDS = {
     "plan": cmd_plan,
     "check": cmd_check,
     "chaos": cmd_chaos,
+    "dlq": cmd_dlq,
 }
 
 

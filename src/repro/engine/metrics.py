@@ -72,10 +72,18 @@ class ExecutionMetrics:
     # --- resilience (repro.resilience) ---------------------------------
     incidents: int = 0  # anomalies the supervisor absorbed
     retries: int = 0  # transient-storage retry attempts
+    retry_attempts: int = 0  # total call attempts made under with_retry
+    retry_backoff_ns: int = 0  # virtual backoff scheduled by with_retry (ns)
     fallback_windows: int = 0  # windows degraded to the reference engine
     dead_letter_events: int = 0  # poison events/snapshots dead-lettered
     checkpoints_taken: int = 0  # carry-state checkpoints captured
     restores: int = 0  # carry-state rollbacks after a fault
+
+    # --- sharded serving (repro.serving) ---------------------------------
+    shed_events: int = 0  # pushes refused by admission control
+    stale_serves: int = 0  # queries answered with stale shard rows
+    shard_restarts: int = 0  # shard workers restarted by the supervisor
+    boundary_words: int = 0  # cross-shard boundary feature re-fetches
 
     # --- adaptive execution (repro.adaptive) -----------------------------
     windows_planned: int = 0  # windows executed under a planner decision

@@ -39,15 +39,23 @@ The key layout (format 1)::
 
 from __future__ import annotations
 
+import io
+import os
+import zipfile
+from pathlib import Path
+
 import numpy as np
 
 from ..engine.metrics import SCALAR_FIELDS, ExecutionMetrics
 from ..engine.streaming import StreamingInference
 from ..graphs.snapshot import CSRSnapshot
 from ..models.rnn import GRUState, LSTMState
+from .faults import TransientStorageError
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "CorruptCheckpointError",
     "arrays_to_carry",
     "carry_to_arrays",
     "load_checkpoint",
@@ -220,3 +228,129 @@ def restore_stream(stream: StreamingInference, path) -> StreamingInference:
     """
     stream.restore_carry(load_checkpoint(path))
     return stream
+
+
+# ----------------------------------------------------------------------
+# rotating checkpoint store (keep-last-K retention)
+# ----------------------------------------------------------------------
+class CorruptCheckpointError(RuntimeError):
+    """A stored checkpoint failed to deserialise (torn write)."""
+
+
+class CheckpointStore:
+    """Rotating checkpoint storage with a keep-last-K retention policy.
+
+    :func:`save_checkpoint` alone accumulates files forever; the store
+    rotates them: every :meth:`save` writes a new monotonically-numbered
+    checkpoint and prunes everything older than the newest ``keep_last``.
+    Because any single checkpoint resumes the stream bit-identically,
+    retention only bounds how far back a recovery can start — never
+    whether it is exact.
+
+    Backed by a directory when ``directory`` is given, otherwise by an
+    in-memory byte store (same key space, no filesystem).  Two chaos
+    seams mirror real storage failure modes: :meth:`corrupt_latest`
+    tears the newest checkpoint mid-write, and :meth:`fail_next_loads`
+    makes upcoming loads raise a retryable
+    :class:`~repro.resilience.faults.TransientStorageError` — recovery
+    paths are expected to ride :func:`~repro.resilience.ingest.with_retry`
+    over :meth:`load` and fall back to older checkpoints on
+    :class:`CorruptCheckpointError`.
+    """
+
+    def __init__(self, directory=None, *, keep_last: int = 3,
+                 prefix: str = "ckpt"):
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.keep_last = keep_last
+        self.prefix = prefix
+        self.directory = None if directory is None else Path(directory)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._blobs: dict[str, bytes] = {}
+        self._seq = 0
+        self._transient_failures = 0
+
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Checkpoint keys, oldest first."""
+        if self.directory is None:
+            return sorted(self._blobs)
+        return sorted(
+            p.name for p in self.directory.glob(f"{self.prefix}-*.npz")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def save(self, stream: StreamingInference) -> str:
+        """Checkpoint ``stream`` and prune beyond ``keep_last``."""
+        self._seq += 1
+        key = f"{self.prefix}-{self._seq:08d}.npz"
+        if self.directory is None:
+            buf = io.BytesIO()
+            save_checkpoint(stream, buf)
+            self._blobs[key] = buf.getvalue()
+        else:
+            save_checkpoint(stream, self.directory / key)
+        for stale in self.keys()[: -self.keep_last]:
+            self._delete(stale)
+        return key
+
+    def load(self, key: str) -> dict:
+        """Read one checkpoint back into a carry mapping.
+
+        Raises :class:`TransientStorageError` when a scheduled transient
+        failure is pending (retryable) and :class:`CorruptCheckpointError`
+        when the blob does not deserialise (permanent for this key).
+        """
+        if self._transient_failures > 0:
+            self._transient_failures -= 1
+            raise TransientStorageError(
+                f"injected transient failure loading {key}"
+            )
+        try:
+            if self.directory is None:
+                data = io.BytesIO(self._blobs[key])
+            else:
+                data = self.directory / key
+                if not os.path.exists(data):
+                    raise KeyError(key)
+            return load_checkpoint(data)
+        except KeyError:
+            raise
+        except (ValueError, OSError, zipfile.BadZipFile, EOFError) as exc:
+            raise CorruptCheckpointError(
+                f"checkpoint {key} failed to deserialise: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # chaos seams
+    # ------------------------------------------------------------------
+    def corrupt_latest(self) -> str | None:
+        """Tear the newest checkpoint (truncate its bytes mid-archive)."""
+        stored = self.keys()
+        if not stored:
+            return None
+        key = stored[-1]
+        if self.directory is None:
+            blob = self._blobs[key]
+            self._blobs[key] = blob[: max(1, len(blob) // 2)]
+        else:
+            path = self.directory / key
+            blob = path.read_bytes()
+            path.write_bytes(blob[: max(1, len(blob) // 2)])
+        return key
+
+    def fail_next_loads(self, count: int) -> None:
+        """Schedule ``count`` retryable load failures (storage flake)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._transient_failures += count
+
+    # ------------------------------------------------------------------
+    def _delete(self, key: str) -> None:
+        if self.directory is None:
+            self._blobs.pop(key, None)
+        else:
+            (self.directory / key).unlink(missing_ok=True)

@@ -25,7 +25,18 @@ fault kind                   artefact
 ``TRANSIENT_STORAGE``        retryable :class:`TransientStorageError`
 ``SANITIZER_VIOLATION``      synthetic :class:`SanitizerViolation` raised
                              while a window is being processed
+``WORKER_CRASH``             shard worker dies and loses in-memory state
+``WORKER_STALL``             shard worker stops heartbeating indefinitely
+``SLOW_SHARD``               shard worker keeps running at a fraction of
+                             its normal rate (hot/straggler shard)
+``TORN_CHECKPOINT``          shard's newest checkpoint is truncated
 ===========================  ==============================================
+
+The shard-level kinds (``SHARD_FAULTS``) target one member of a
+:class:`repro.serving.ShardCluster` — their :class:`FaultSpec` carries a
+``shard`` index — and are scheduled with :meth:`FaultPlan.generate_cluster`
+so every shard is killed and stalled at least once per campaign.  The
+original single-stream kinds are grouped as ``STREAM_FAULTS``.
 
 Poison artefacts are built so that validation *must* reject them — each
 event fault produces exactly one invalid event, which makes dead-letter
@@ -51,8 +62,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FlakyHBM",
+    "SHARD_FAULTS",
     "SNAPSHOT_FAULTS",
     "STORAGE_FAULTS",
+    "STREAM_FAULTS",
     "TransientStorageError",
 ]
 
@@ -73,6 +86,10 @@ class FaultKind(enum.Enum):
     TRUNCATED_SNAPSHOT = "truncated_snapshot"
     TRANSIENT_STORAGE = "transient_storage"
     SANITIZER_VIOLATION = "sanitizer_violation"
+    WORKER_CRASH = "worker_crash"
+    WORKER_STALL = "worker_stall"
+    SLOW_SHARD = "slow_shard"
+    TORN_CHECKPOINT = "torn_checkpoint"
 
 
 #: faults delivered as poison :class:`UpdateEvent`s in the ingest stream
@@ -92,20 +109,42 @@ SNAPSHOT_FAULTS = frozenset({FaultKind.TRUNCATED_SNAPSHOT})
 ENGINE_FAULTS = frozenset({FaultKind.SANITIZER_VIOLATION})
 #: faults raised from the O-CSR/HBM storage path
 STORAGE_FAULTS = frozenset({FaultKind.TRANSIENT_STORAGE})
+#: faults targeting one shard worker of a serving cluster
+SHARD_FAULTS = frozenset(
+    {
+        FaultKind.WORKER_CRASH,
+        FaultKind.WORKER_STALL,
+        FaultKind.SLOW_SHARD,
+        FaultKind.TORN_CHECKPOINT,
+    }
+)
+#: the original single-stream kinds (everything that is not shard-level)
+STREAM_FAULTS = EVENT_FAULTS | SNAPSHOT_FAULTS | ENGINE_FAULTS | STORAGE_FAULTS
 
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One scheduled fault: *what* goes wrong at *which* step."""
+    """One scheduled fault: *what* goes wrong at *which* step.
+
+    Shard-level kinds additionally name *which* shard (``shard >= 0``);
+    stream-level kinds leave ``shard`` at the sentinel ``-1``.
+    """
 
     kind: FaultKind
     step: int
+    shard: int = -1
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, FaultKind):
             raise ValueError(f"kind must be a FaultKind, got {self.kind!r}")
         if self.step < 0:
             raise ValueError(f"fault step must be >= 0, got {self.step}")
+        if self.shard < -1:
+            raise ValueError(f"shard must be >= -1, got {self.shard}")
+        if self.kind in SHARD_FAULTS and self.shard < 0:
+            raise ValueError(
+                f"shard-level fault {self.kind.value} needs a shard index"
+            )
 
 
 class FaultPlan:
@@ -129,17 +168,58 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Deterministically place ``per_kind`` faults of each kind on
         steps ``1 .. num_steps - 1`` (step 0 delivers the initial
-        snapshot and carries no events)."""
+        snapshot and carries no events).  Defaults to the single-stream
+        kinds (``STREAM_FAULTS``); shard-level kinds need a target shard
+        and are scheduled by :meth:`generate_cluster` instead."""
         if num_steps < 2:
             raise ValueError("need at least 2 steps to schedule faults")
         if per_kind < 1:
             raise ValueError("per_kind must be >= 1")
-        chosen = sorted(kinds or list(FaultKind), key=lambda k: k.value)
+        chosen = sorted(kinds or STREAM_FAULTS, key=lambda k: k.value)
+        if any(k in SHARD_FAULTS for k in chosen):
+            raise ValueError(
+                "shard-level kinds need a target shard;"
+                " use FaultPlan.generate_cluster"
+            )
         specs: list[FaultSpec] = []
         for ki, kind in enumerate(chosen):
             rng = np.random.default_rng([seed, ki])
             for step in rng.integers(1, num_steps, size=per_kind):
                 specs.append(FaultSpec(kind, int(step)))
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def generate_cluster(
+        cls,
+        *,
+        seed: int,
+        num_steps: int,
+        num_shards: int,
+        kinds=None,
+        per_shard: int = 1,
+    ) -> "FaultPlan":
+        """Deterministically schedule shard-level faults so every shard
+        receives ``per_shard`` faults of each chosen kind (default: all
+        of ``SHARD_FAULTS``, so each shard is crashed, stalled, slowed
+        and torn-checkpointed at least once — the chaos-proof campaign
+        shape the acceptance criteria ask for)."""
+        if num_steps < 2:
+            raise ValueError("need at least 2 steps to schedule faults")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if per_shard < 1:
+            raise ValueError("per_shard must be >= 1")
+        chosen = sorted(kinds or SHARD_FAULTS, key=lambda k: k.value)
+        if any(k not in SHARD_FAULTS for k in chosen):
+            raise ValueError(
+                "generate_cluster schedules shard-level kinds only"
+            )
+        specs: list[FaultSpec] = []
+        for shard in range(num_shards):
+            for ki, kind in enumerate(chosen):
+                rng = np.random.default_rng([seed, shard, ki])
+                for step in rng.integers(1, num_steps, size=per_shard):
+                    specs.append(FaultSpec(kind, int(step), shard))
         return cls(specs, seed=seed)
 
     # ------------------------------------------------------------------
@@ -159,6 +239,15 @@ class FaultPlan:
 
     def engine_specs(self, step: int) -> list[FaultSpec]:
         return self.at(step, ENGINE_FAULTS)
+
+    def shard_specs(self, step: int) -> list[FaultSpec]:
+        return self.at(step, SHARD_FAULTS)
+
+    def shards_touched(self) -> frozenset:
+        """Shard indices named by at least one shard-level spec."""
+        return frozenset(
+            s.shard for s in self.specs if s.kind in SHARD_FAULTS
+        )
 
     def storage_failures(self) -> int:
         """Total scheduled transient-storage failures."""

@@ -26,6 +26,7 @@ import numpy as np
 from ..engine.metrics import ExecutionMetrics
 from ..graphs.snapshot import CSRSnapshot
 from ..graphs.updates import (
+    UpdateEvent,
     UpdateKind,
     _decode_events,
     _decoded_violation,
@@ -41,6 +42,7 @@ __all__ = [
     "GuardedIngest",
     "RetryExhaustedError",
     "RetryPolicy",
+    "redrain_dead_letters",
     "snapshot_violation",
     "with_retry",
 ]
@@ -88,6 +90,96 @@ class DeadLetterQueue:
         for letter in self.letters:
             out[letter.reason] = out.get(letter.reason, 0) + 1
         return out
+
+    # ------------------------------------------------------------------
+    # capture persistence (the ``repro dlq`` seam)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the queue as a pickle-free ``.npz`` capture.
+
+        Event payloads are flattened field-by-field (kind / vertex / edge
+        pair / feature vector); snapshot and exotic payloads are recorded
+        as a descriptive marker only — they are not replayable artefacts,
+        and loading a capture never executes code.
+        """
+        arrays: dict = {"meta/count": np.int64(len(self.letters))}
+        for i, letter in enumerate(self.letters):
+            p = f"letters/{i}"
+            arrays[f"{p}/step"] = np.int64(letter.step)
+            arrays[f"{p}/reason"] = np.str_(letter.reason)
+            payload = letter.payload
+            if isinstance(payload, UpdateEvent) and self._encodable(payload):
+                kind = payload.kind
+                arrays[f"{p}/ptype"] = np.str_("event")
+                arrays[f"{p}/kind"] = np.str_(
+                    kind.value if isinstance(kind, UpdateKind) else str(kind)
+                )
+                arrays[f"{p}/kind_known"] = np.bool_(
+                    isinstance(kind, UpdateKind)
+                )
+                arrays[f"{p}/vertex"] = np.int64(int(payload.vertex))
+                if isinstance(payload.payload, tuple):
+                    arrays[f"{p}/edge"] = np.asarray(
+                        [int(payload.payload[0]), int(payload.payload[1])],
+                        dtype=np.int64,
+                    )
+                elif isinstance(payload.payload, np.ndarray):
+                    arrays[f"{p}/feature"] = np.asarray(payload.payload)
+            elif payload is None:
+                arrays[f"{p}/ptype"] = np.str_("none")
+            else:
+                arrays[f"{p}/ptype"] = np.str_("opaque")
+                arrays[f"{p}/desc"] = np.str_(type(payload).__name__)
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def _encodable(ev: UpdateEvent) -> bool:
+        """Whether an event survives the flat-array round trip."""
+        if not isinstance(ev.vertex, (int, np.integer)):
+            return False
+        payload = ev.payload
+        if payload is None or isinstance(payload, np.ndarray):
+            return True
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and all(isinstance(x, (int, np.integer)) for x in payload)
+        )
+
+    @classmethod
+    def load(cls, path) -> "DeadLetterQueue":
+        """Rebuild a queue from a capture written by :meth:`save`."""
+        queue = cls()
+        with np.load(path, allow_pickle=False) as data:
+            keys = set(data.files)
+            for i in range(int(data["meta/count"])):
+                p = f"letters/{i}"
+                step = int(data[f"{p}/step"])
+                reason = str(np.asarray(data[f"{p}/reason"]).item())
+                ptype = str(np.asarray(data[f"{p}/ptype"]).item())
+                payload: object = None
+                if ptype == "event":
+                    kind_raw = str(np.asarray(data[f"{p}/kind"]).item())
+                    kind: object = (
+                        UpdateKind(kind_raw)
+                        if bool(data[f"{p}/kind_known"])
+                        else kind_raw
+                    )
+                    body: object = None
+                    if f"{p}/edge" in keys:
+                        pair = np.asarray(data[f"{p}/edge"])
+                        body = (int(pair[0]), int(pair[1]))
+                    elif f"{p}/feature" in keys:
+                        body = np.asarray(data[f"{p}/feature"])
+                    payload = UpdateEvent(
+                        kind,  # type: ignore[arg-type]
+                        int(data[f"{p}/vertex"]),
+                        body,  # type: ignore[arg-type]
+                    )
+                elif ptype == "opaque":
+                    payload = str(np.asarray(data[f"{p}/desc"]).item())
+                queue.record(step, reason, payload=payload)
+        return queue
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +304,37 @@ class GuardedIngest:
 
 
 # ----------------------------------------------------------------------
+# deterministic re-drain
+# ----------------------------------------------------------------------
+def redrain_dead_letters(
+    queue: DeadLetterQueue, graph
+) -> tuple[list[DeadLetter], list[DeadLetter]]:
+    """Re-validate a capture against ``graph``'s authoritative snapshots.
+
+    Each event-payload letter is pushed back through the guarded-ingest
+    validator at its recorded step (clamped to the graph's last
+    snapshot); letters whose payload is not a replayable event — torn
+    snapshots, opaque artefacts — stay quarantined by definition.
+    Returns ``(readmitted, still_poison)``; the split is deterministic,
+    so running a re-drain twice yields the same verdicts.
+    """
+    readmitted: list[DeadLetter] = []
+    still_poison: list[DeadLetter] = []
+    last = graph.num_snapshots - 1
+    for letter in queue.letters:
+        payload = letter.payload
+        if not isinstance(payload, UpdateEvent):
+            still_poison.append(letter)
+            continue
+        snap = graph[min(letter.step, last)]
+        _, rejected = GuardedIngest().filter_events(
+            snap, [payload], step=letter.step
+        )
+        (still_poison if rejected else readmitted).append(letter)
+    return readmitted, still_poison
+
+
+# ----------------------------------------------------------------------
 # bounded deterministic retry
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -266,12 +389,18 @@ def with_retry(
     scheduled between attempts — recorded, never slept.  Non-retryable
     exceptions propagate untouched; exhausting the budget raises
     :class:`RetryExhaustedError` chained to the last failure.  When
-    ``metrics`` is given, each failed attempt bumps ``metrics.retries``.
+    ``metrics`` is given, every call attempt bumps
+    ``metrics.retry_attempts``, each failed attempt bumps
+    ``metrics.retries``, and every virtual backoff delay accumulates into
+    ``metrics.retry_backoff_ns`` — so retry pressure shows up in the same
+    report as throughput instead of being invisible.
     """
     policy = policy if policy is not None else RetryPolicy()
     delays: list[float] = []
     last: Exception | None = None
     for attempt in range(1, policy.max_attempts + 1):
+        if metrics is not None:
+            metrics.retry_attempts += 1
         try:
             return fn(), delays
         except retryable as exc:
@@ -279,7 +408,10 @@ def with_retry(
             if metrics is not None:
                 metrics.retries += 1
             if attempt < policy.max_attempts:
-                delays.append(policy.delay_s(attempt))
+                delay = policy.delay_s(attempt)
+                delays.append(delay)
+                if metrics is not None:
+                    metrics.retry_backoff_ns += int(round(delay * 1e9))
     raise RetryExhaustedError(
         f"gave up after {policy.max_attempts} attempts: {last}"
     ) from last

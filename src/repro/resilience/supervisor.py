@@ -73,14 +73,21 @@ class CircuitOpenError(RuntimeError):
 
 @dataclass(frozen=True)
 class Incident:
-    """One absorbed anomaly, in operator-actionable form."""
+    """One absorbed anomaly, in operator-actionable form.
+
+    ``shard`` and ``tenant`` localise cluster-level incidents raised by
+    :mod:`repro.serving`; single-stream incidents leave them at the
+    ``-1`` / ``""`` sentinels.
+    """
 
     window_index: int
     step: int
     kind: str  # "sanitizer-violation" | "engine-fault" | "poison-snapshot"
-    action: str  # "degraded" | "dead-lettered"
+    action: str  # "degraded" | "dead-lettered" | "restarted" | "shed" | ...
     detail: str = ""
     component: str = ""
+    shard: int = -1
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.window_index < 0:
@@ -89,6 +96,8 @@ class Incident:
             )
         if self.step < 0:
             raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.shard < -1:
+            raise ValueError(f"shard must be >= -1, got {self.shard}")
 
 
 class ResilientStreamingInference:

@@ -1,0 +1,294 @@
+"""Seeded shard-failure campaigns — the cluster's chaos proof.
+
+:func:`run_cluster_campaign` drives one or more tenants' dynamic graphs
+through a :class:`~repro.serving.cluster.ShardCluster` while a
+:class:`~repro.resilience.faults.FaultPlan` injects shard-level faults
+(worker crash / stall / slow shard / torn checkpoint — typically from
+:meth:`~repro.resilience.faults.FaultPlan.generate_cluster`, which hits
+every shard with every kind) plus any scheduled stream-level faults.
+The report reconciles three guarantees:
+
+* **bit-identity** — after the campaign, each tenant's released outputs
+  are compared element-for-element against an unsharded
+  :class:`~repro.engine.streaming.StreamingInference` fed the same
+  admitted snapshots.  Crash recovery replays from checkpoints, torn
+  checkpoints roll back to older ones, engine faults degrade to the
+  reference engine — all of it must be invisible in the outputs;
+* **zero loss** — every admitted snapshot's output is released; the
+  only events missing are the dead-lettered ones, and they are in the
+  queue, not gone;
+* **structured incidents** — every recovery action appears as an
+  :class:`~repro.resilience.supervisor.Incident` naming its shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.metrics import ExecutionMetrics
+from ..engine.streaming import StreamingInference
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.updates import event_stream
+from ..resilience.faults import STORAGE_FAULTS, FaultKind, FaultPlan
+from .cluster import ShardCluster
+
+__all__ = ["ClusterChaosReport", "run_cluster_campaign"]
+
+
+@dataclass
+class ClusterChaosReport:
+    """Everything one cluster campaign observed and verified."""
+
+    tenants: list = field(default_factory=list)
+    outputs: dict = field(default_factory=dict)  # tenant -> [ndarray, ...]
+    admitted: dict = field(default_factory=dict)  # tenant -> count
+    identical: bool = False
+    lost: int = 0  # admitted outputs never released (must be 0)
+    restarts: int = 0
+    restarted_shards: list = field(default_factory=list)
+    incidents: list = field(default_factory=list)
+    dead_letters: list = field(default_factory=list)
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    plan_counts: dict = field(default_factory=dict)
+    shard_summaries: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.lost < 0:
+            raise ValueError(f"lost must be >= 0, got {self.lost}")
+        if self.restarts < 0:
+            raise ValueError(f"restarts must be >= 0, got {self.restarts}")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Operator-readable report (the ``repro chaos --cluster``
+        output)."""
+        m = self.metrics
+        lines = [
+            "cluster chaos campaign report",
+            f"  tenants             : {len(self.tenants)}"
+            f" ({', '.join(self.tenants)})",
+            f"  planned faults      : {sum(self.plan_counts.values())}",
+        ]
+        for kind in sorted(self.plan_counts):
+            lines.append(f"    {kind:<20}: {self.plan_counts[kind]}")
+        lines += [
+            f"  shard restarts      : {self.restarts}"
+            f" (shards {self.restarted_shards})",
+            f"  incidents absorbed  : {m.incidents}",
+            f"  dead-lettered       : {m.dead_letter_events}"
+            f" (queue depth {len(self.dead_letters)})",
+            f"  degraded windows    : {m.fallback_windows}",
+            f"  storage retries     : {m.retries}",
+            f"  checkpoint restores : {m.restores}",
+            f"  boundary words      : {m.boundary_words}",
+            f"  outputs released    : "
+            + ", ".join(
+                f"{name}={len(self.outputs[name])}/{self.admitted[name]}"
+                for name in self.tenants
+            ),
+            f"  lost (non-DLQ)      : {self.lost}",
+            f"  bit-identical       : {'yes' if self.identical else 'NO'}",
+        ]
+        if self.incidents:
+            lines.append("  incident log:")
+            for inc in self.incidents:
+                where = f" shard {inc.shard}" if inc.shard >= 0 else ""
+                who = f" [{inc.tenant}]" if inc.tenant else ""
+                lines.append(
+                    f"    tick {inc.step:>4}{where}{who}:"
+                    f" {inc.kind} -> {inc.action}"
+                )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-serialisable artefact for the CI campaign report."""
+        return {
+            "tenants": list(self.tenants),
+            "plan_counts": dict(self.plan_counts),
+            "admitted": dict(self.admitted),
+            "released": {
+                name: len(self.outputs[name]) for name in self.tenants
+            },
+            "identical": bool(self.identical),
+            "lost": int(self.lost),
+            "restarts": int(self.restarts),
+            "restarted_shards": list(self.restarted_shards),
+            "incidents": [
+                {
+                    "step": inc.step,
+                    "kind": inc.kind,
+                    "action": inc.action,
+                    "shard": inc.shard,
+                    "tenant": inc.tenant,
+                    "detail": inc.detail,
+                }
+                for inc in self.incidents
+            ],
+            "dead_letters": len(self.dead_letters),
+            "metrics": {
+                "incidents": self.metrics.incidents,
+                "dead_letter_events": self.metrics.dead_letter_events,
+                "fallback_windows": self.metrics.fallback_windows,
+                "retries": self.metrics.retries,
+                "retry_attempts": self.metrics.retry_attempts,
+                "restores": self.metrics.restores,
+                "shard_restarts": self.metrics.shard_restarts,
+                "shed_events": self.metrics.shed_events,
+                "stale_serves": self.metrics.stale_serves,
+                "boundary_words": self.metrics.boundary_words,
+            },
+            "shards": list(self.shard_summaries),
+        }
+
+
+def _inject_shard_fault(cluster: ShardCluster, spec) -> None:
+    """Apply one scheduled shard-level fault to its target worker."""
+    worker = cluster.workers[spec.shard % len(cluster.workers)]
+    if spec.kind is FaultKind.WORKER_CRASH:
+        worker.crash()
+    elif spec.kind is FaultKind.WORKER_STALL:
+        worker.stall()
+    elif spec.kind is FaultKind.SLOW_SHARD:
+        worker.slow(3)
+    elif spec.kind is FaultKind.TORN_CHECKPOINT:
+        # tear the newest checkpoint, then kill the worker so the next
+        # recovery is forced through (and past) the torn file
+        worker.tear_checkpoints()
+        worker.crash()
+    else:  # pragma: no cover - exhaustive over SHARD_FAULTS
+        raise ValueError(f"not a shard-level fault: {spec.kind}")
+
+
+def run_cluster_campaign(
+    model_factory,
+    graphs,
+    plan: FaultPlan,
+    *,
+    num_shards: int = 4,
+    window_size: int = 4,
+    enable_skipping: bool = True,
+    heartbeat_timeout: int = 2,
+    keep_last: int = 3,
+    seed: int = 0,
+    compare_reference: bool = True,
+) -> ClusterChaosReport:
+    """Serve ``graphs`` through a shard cluster under ``plan``'s faults.
+
+    ``graphs`` is one :class:`DynamicGraph` (a single tenant) or a
+    mapping ``{tenant_name: DynamicGraph}``; all graphs must share
+    vertex count and feature width (the shard map is cluster-wide).
+    Tenants' feeds interleave round-robin, one snapshot per tenant per
+    step, delivered as event batches through the cluster's guarded
+    ingest.  Shard faults fire at the virtual step the plan pins them
+    to; stream faults ride along (poison events / torn snapshots /
+    engine faults / storage flakes) on the first tenant's feed.
+
+    The campaign never sheds (admission is unbounded here) so the
+    zero-loss and bit-identity reconciliation is exact; bounded-queue
+    behaviour is the demo's and the unit tests' job.
+    """
+    if isinstance(graphs, DynamicGraph):
+        graphs = {"tenant-0": graphs}
+    if not graphs:
+        raise ValueError("need at least one tenant graph")
+    names = sorted(graphs)
+    cluster = ShardCluster(
+        model_factory,
+        num_shards=num_shards,
+        window_size=window_size,
+        enable_skipping=enable_skipping,
+        max_backlog=None,  # campaigns must not shed: zero-loss is checked
+        heartbeat_timeout=heartbeat_timeout,
+        keep_last=keep_last,
+        seed=seed,
+    )
+    for name in names:
+        cluster.register_tenant(name)
+    feeds = {name: event_stream(graphs[name]) for name in names}
+    first = names[0]
+    max_steps = max(g.num_snapshots for g in graphs.values())
+    for t in range(max_steps):
+        for spec in plan.shard_specs(t):
+            _inject_shard_fault(cluster, spec)
+        for _spec in plan.at(t, STORAGE_FAULTS):
+            cluster.workers[t % num_shards].flake_storage(1)
+        for spec in plan.engine_specs(t):
+            worker = cluster.workers[spec.step % num_shards]
+            if worker.alive and first in worker.streams:
+                worker.streams[first].inject_fault(plan.violation(spec))
+        for name in names:
+            graph = graphs[name]
+            if t >= graph.num_snapshots:
+                continue
+            if name == first:
+                for spec in plan.snapshot_specs(t):
+                    torn = plan.corrupt_snapshot(spec, graph[t])
+                    cluster.push(name, torn)  # dead-lettered at admission
+            if t == 0:
+                cluster.push(name, graph[0].copy())
+                continue
+            batch = list(feeds[name][t - 1])
+            if name == first:
+                batch += [
+                    plan.poison_event(spec, graph[t])
+                    for spec in plan.event_specs(t)
+                ]
+            cluster.ingest(name, batch, step=t)
+    for name in names:
+        cluster.flush(name)
+
+    report = ClusterChaosReport(
+        tenants=names,
+        plan_counts=plan.counts(),
+        restarts=cluster.supervisor.restarts,
+    )
+    report.outputs = {name: cluster.released(name) for name in names}
+    report.admitted = {name: len(cluster.history(name)) for name in names}
+    report.lost = sum(
+        report.admitted[name] - len(report.outputs[name]) for name in names
+    )
+    report.restarted_shards = sorted(
+        {inc.shard for inc in cluster.incidents if inc.action == "restarted"}
+    )
+    report.incidents = list(cluster.incidents)
+    report.dead_letters = list(cluster.dlq.letters)
+    report.metrics = cluster.metrics
+    report.shard_summaries = [
+        {
+            "shard": worker.index,
+            "owned_vertices": int(cluster.shard_map.rows(worker.index).size)
+            if cluster.shard_map is not None
+            else 0,
+            "windows_processed": m.windows_processed,
+            "snapshots_processed": m.snapshots_processed,
+            "fallback_windows": m.fallback_windows,
+            "restores": m.restores,
+        }
+        for worker, m in zip(cluster.workers, cluster.shard_metrics())
+    ]
+
+    identical = True
+    if compare_reference:
+        for name in names:
+            reference = StreamingInference(
+                model_factory(),
+                window_size=window_size,
+                enable_skipping=enable_skipping,
+            )
+            expected: list[np.ndarray] = []
+            for snap in cluster.history(name):
+                result = reference.push(snap.copy())
+                if result is not None:
+                    expected.extend(result.outputs)
+            result = reference.flush()
+            if result is not None:
+                expected.extend(result.outputs)
+            got = report.outputs[name]
+            if len(got) != len(expected) or not all(
+                np.array_equal(a, b) for a, b in zip(got, expected)
+            ):
+                identical = False
+    report.identical = identical and report.lost == 0
+    return report

@@ -1,0 +1,36 @@
+"""Deterministic virtual time for the serving cluster.
+
+The cluster never reads wall-clock time (rule R001): every observable —
+heartbeats, deadlines, backpressure, stall detection — is phrased in
+*ticks* of a :class:`VirtualClock` that advances once per routed
+request.  Two runs with the same inputs therefore see exactly the same
+clock readings, which is what makes shard-failure campaigns replayable
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonic tick counter standing in for wall-clock time."""
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def tick(self, ticks: int = 1) -> int:
+        """Advance time by ``ticks`` and return the new reading."""
+        if ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {ticks}")
+        self._now += int(ticks)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now})"

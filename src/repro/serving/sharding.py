@@ -1,0 +1,137 @@
+"""Vertex ownership for the sharded serving cluster.
+
+The cluster follows a *replicated-structure, partitioned-ownership*
+design: every shard runs the full deterministic engine over every
+tenant's stream (structure and features are replicated, so no shard
+ever needs a remote neighbour to aggregate), but each shard is
+**authoritative** only for the embedding rows of the vertices it owns.
+The aggregator stitches one full output matrix per timestamp from the
+owned rows of every shard, so a shard that recovered incorrectly would
+produce divergent rows — recovery correctness is observable, not
+assumed.
+
+Ownership comes from :class:`~repro.accel.partition.GSPM` — the same
+topology-aware partitioner the accelerator uses for on-chip staging —
+so locality-ordered shards co-locate DFS neighbours and minimise the
+cut.  Cut edges are exactly the boundary traffic the aggregator pays
+when it exchanges owned rows across shards, surfaced as the
+``boundary_words`` counter of
+:class:`~repro.engine.metrics.ExecutionMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.partition import GSPM, PartitionStrategy
+from ..graphs.dynamic import DynamicGraph
+
+__all__ = ["ShardMap"]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Authoritative vertex → shard assignment for one cluster."""
+
+    num_shards: int
+    num_vertices: int
+    owner: np.ndarray  # int64[num_vertices], values in [0, num_shards)
+    cut_edges: int  # edges whose endpoints live on different shards
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.num_vertices < 1:
+            raise ValueError(
+                f"num_vertices must be >= 1, got {self.num_vertices}"
+            )
+        if self.cut_edges < 0:
+            raise ValueError(f"cut_edges must be >= 0, got {self.cut_edges}")
+        owner = np.asarray(self.owner, dtype=np.int64)
+        if owner.shape != (self.num_vertices,):
+            raise ValueError(
+                f"owner must have shape ({self.num_vertices},),"
+                f" got {owner.shape}"
+            )
+        if owner.size and (owner.min() < 0 or owner.max() >= self.num_shards):
+            raise ValueError(
+                "owner entries must lie in"
+                f" [0, {self.num_shards}), got"
+                f" [{owner.min()}, {owner.max()}]"
+            )
+        object.__setattr__(self, "owner", owner)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        window: DynamicGraph,
+        num_shards: int,
+        *,
+        strategy: PartitionStrategy = PartitionStrategy.LOCALITY,
+    ) -> "ShardMap":
+        """Partition ``window``'s vertex set into ``num_shards`` blocks.
+
+        The GSPM budget is sized so the chosen strategy yields at most
+        ``num_shards`` blocks over all vertices; when the partitioner
+        produces fewer (tiny graphs), the remaining shards simply own no
+        rows and act as pure replicas.
+        """
+        n = window.num_vertices
+        if not 1 <= num_shards <= n:
+            raise ValueError(
+                f"num_shards must be in [1, {n}], got {num_shards}"
+            )
+        per_shard = -(-n // num_shards)  # ceil
+        gspm = GSPM(
+            window, budget_words=per_shard * (window.dim + 2)
+        )
+        plan = gspm.plan(strategy, vertices=np.arange(n, dtype=np.int64))
+        owner = np.full(n, -1, dtype=np.int64)
+        for part in plan.partitions:
+            owner[part.vertices] = part.index
+        return cls(
+            num_shards=num_shards,
+            num_vertices=n,
+            owner=owner,
+            cut_edges=plan.total_cut_edges,
+        )
+
+    # ------------------------------------------------------------------
+    def rows(self, shard: int) -> np.ndarray:
+        """Sorted vertex ids owned by ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        return np.flatnonzero(self.owner == shard)
+
+    def active_shards(self) -> list[int]:
+        """Shards owning at least one vertex (the aggregation quorum)."""
+        return np.unique(self.owner).tolist()
+
+    def boundary_words(self, dim: int) -> int:
+        """Words exchanged across shards per stitched timestamp: one
+        ``dim``-wide row per cut edge (the remote endpoint's feature)."""
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        return self.cut_edges * dim
+
+    def stitch(self, parts: dict) -> np.ndarray:
+        """Assemble one full output matrix from per-shard owned rows.
+
+        ``parts`` maps shard index → that shard's owned-row block (in
+        :meth:`rows` order).  Every active shard must contribute.
+        """
+        missing = [s for s in self.active_shards() if s not in parts]
+        if missing:
+            raise ValueError(f"missing contributions from shards {missing}")
+        first = parts[self.active_shards()[0]]
+        out = np.empty((self.num_vertices,) + first.shape[1:], first.dtype)
+        for shard in self.active_shards():
+            out[self.rows(shard)] = parts[shard]
+        return out

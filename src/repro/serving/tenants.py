@@ -1,0 +1,127 @@
+"""Per-tenant admission control: bounded queues and circuit breakers.
+
+The cluster serves many tenants from shared shard workers, so one
+tenant's burst must not consume every worker's queue.  The
+:class:`TenantGate` enforces, per tenant:
+
+* a **bounded backlog** — when any shard's queued depth for the tenant
+  reaches ``max_backlog``, the push is *shed*: the caller gets an
+  explicit backpressure response carrying a structured
+  :class:`~repro.resilience.supervisor.Incident`, and the rejected
+  snapshot lands in the cluster's
+  :class:`~repro.resilience.ingest.DeadLetterQueue` (nothing is dropped
+  silently);
+* a **circuit breaker** — ``breaker_threshold`` consecutive sheds open
+  the tenant's breaker, after which pushes are refused immediately
+  (reason ``"circuit-open"``) until the backlog drains or an operator
+  calls :meth:`TenantGate.reset`.  The breaker half-closes on the first
+  admit attempt that finds headroom again.
+
+Everything is pure bookkeeping over virtual time — no wall clock, no
+entropy — so shedding behaviour replays deterministically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TenantGate"]
+
+
+class _TenantState:
+    """Mutable breaker bookkeeping for one tenant."""
+
+    __slots__ = ("name", "consecutive_sheds", "open", "admitted", "shed")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.consecutive_sheds = 0
+        self.open = False
+        self.admitted = 0
+        self.shed = 0
+
+
+class TenantGate:
+    """Admission control shared by every shard of one cluster."""
+
+    def __init__(
+        self,
+        *,
+        max_backlog: int | None = None,
+        breaker_threshold: int = 8,
+    ):
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError(
+                f"max_backlog must be >= 1 or None, got {max_backlog}"
+            )
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        self.max_backlog = max_backlog
+        self.breaker_threshold = breaker_threshold
+        self._tenants: dict[str, _TenantState] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, tenant: str) -> None:
+        if not tenant:
+            raise ValueError("tenant name must be non-empty")
+        if tenant in self._tenants:
+            raise ValueError(f"tenant {tenant!r} already registered")
+        self._tenants[tenant] = _TenantState(tenant)
+
+    def known(self, tenant: str) -> bool:
+        return tenant in self._tenants
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str, depth: int) -> str:
+        """Decide one push given the tenant's deepest shard backlog.
+
+        Returns ``""`` to admit, or a structured shed reason
+        (``"backlog-full"`` / ``"circuit-open"``).
+        """
+        state = self._state(tenant)
+        overfull = self.max_backlog is not None and depth >= self.max_backlog
+        if state.open:
+            if overfull:
+                state.shed += 1
+                return "circuit-open"
+            # headroom returned: half-close and fall through to admit
+            state.open = False
+            state.consecutive_sheds = 0
+        if overfull:
+            state.consecutive_sheds += 1
+            state.shed += 1
+            if state.consecutive_sheds >= self.breaker_threshold:
+                state.open = True
+            return "backlog-full"
+        state.consecutive_sheds = 0
+        state.admitted += 1
+        return ""
+
+    def breaker_open(self, tenant: str) -> bool:
+        return self._state(tenant).open
+
+    def reset(self, tenant: str) -> None:
+        """Operator action: close the breaker and forget the streak."""
+        state = self._state(tenant)
+        state.open = False
+        state.consecutive_sheds = 0
+
+    def stats(self, tenant: str) -> dict[str, int]:
+        state = self._state(tenant)
+        return {
+            "admitted": state.admitted,
+            "shed": state.shed,
+            "breaker_open": int(state.open),
+        }
+
+    # ------------------------------------------------------------------
+    def _state(self, tenant: str) -> _TenantState:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise ValueError(
+                f"tenant {tenant!r} is not registered"
+            ) from None

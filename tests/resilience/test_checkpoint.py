@@ -162,3 +162,90 @@ class TestTamperRejection:
         )
         with pytest.raises(ValueError):
             narrow.restore_carry(carry)
+
+
+class TestCheckpointStore:
+    """Retention (keep-last-K), pruning, and the chaos seams."""
+
+    def _filled(self, graph, *, keep_last=3, directory=None):
+        from repro.resilience import CheckpointStore
+
+        store = CheckpointStore(directory, keep_last=keep_last)
+        stream = StreamingInference(_model(graph), window_size=WINDOW)
+        for snap in graph:
+            stream.push(snap.copy())
+            store.save(stream)
+        return store, stream
+
+    def test_prunes_to_keep_last(self, graph):
+        store, _ = self._filled(graph, keep_last=3)
+        stored = store.keys()
+        assert len(stored) == 3
+        # the survivors are the newest three, in order
+        assert stored == sorted(stored)
+        assert stored[-1].endswith(f"{graph.num_snapshots:08d}.npz")
+
+    def test_resume_works_after_pruning(self, graph):
+        """The headline retention property: pruning old checkpoints
+        never breaks recovery — the newest survivor still resumes the
+        stream bit-identically."""
+        expected = _uninterrupted(graph)
+        store, _ = self._filled(graph, keep_last=2)
+        # the oldest survivor of the prune is still a valid resume point
+        carry = store.load(store.keys()[0])
+        resumed = StreamingInference(_model(graph), window_size=WINDOW)
+        resumed.restore_carry(carry)
+        start = carry["timestamp"] + len(carry["pending"])
+        replayed = _run(resumed, list(graph)[start:])
+        assert replayed
+        for a, b in zip(replayed, expected[len(expected) - len(replayed):]):
+            assert np.array_equal(a, b)
+
+    def test_directory_backend_round_trip(self, graph, tmp_path):
+        store, stream = self._filled(
+            graph, keep_last=2, directory=tmp_path / "ckpts"
+        )
+        assert len(list((tmp_path / "ckpts").glob("ckpt-*.npz"))) == 2
+        carry = store.load(store.keys()[-1])
+        assert carry["timestamp"] == stream.carry_state()["timestamp"]
+
+    def test_corrupt_latest_falls_back_to_older(self, graph):
+        from repro.resilience import CorruptCheckpointError
+
+        store, _ = self._filled(graph, keep_last=3)
+        torn = store.corrupt_latest()
+        with pytest.raises(CorruptCheckpointError):
+            store.load(torn)
+        older = store.keys()[-2]
+        carry = store.load(older)  # the older checkpoint still works
+        assert carry["timestamp"] >= 0
+
+    def test_flaked_load_is_retryable(self, graph):
+        from repro.engine import ExecutionMetrics
+        from repro.resilience import RetryPolicy, with_retry
+
+        store, _ = self._filled(graph)
+        key = store.keys()[-1]
+        store.fail_next_loads(2)
+        m = ExecutionMetrics()
+        carry, delays = with_retry(
+            lambda: store.load(key),
+            policy=RetryPolicy(max_attempts=3, seed=1),
+            metrics=m,
+        )
+        assert carry["timestamp"] >= 0
+        assert len(delays) == 2
+        assert m.retries == 2
+
+    def test_invalid_keep_last_rejected(self):
+        from repro.resilience import CheckpointStore
+
+        with pytest.raises(ValueError):
+            CheckpointStore(keep_last=0)
+
+    def test_missing_key_raises_key_error(self, graph):
+        from repro.resilience import CheckpointStore
+
+        store = CheckpointStore()
+        with pytest.raises(KeyError):
+            store.load("ckpt-00000001.npz")

@@ -13,8 +13,10 @@ from repro.resilience import (
     FaultSpec,
     FlakyHBM,
     GuardedIngest,
+    SHARD_FAULTS,
     SNAPSHOT_FAULTS,
     STORAGE_FAULTS,
+    STREAM_FAULTS,
     TransientStorageError,
     snapshot_violation,
 )
@@ -34,21 +36,57 @@ class TestFaultSpec:
         with pytest.raises(ValueError, match="FaultKind"):
             FaultSpec("nan_feature", 1)
 
+    def test_shard_kind_requires_shard_index(self):
+        with pytest.raises(ValueError, match="shard index"):
+            FaultSpec(FaultKind.WORKER_CRASH, 1)
+        spec = FaultSpec(FaultKind.WORKER_CRASH, 1, 2)
+        assert spec.shard == 2
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            FaultSpec(FaultKind.WORKER_STALL, 1, -2)
+
 
 class TestFaultPlan:
     def test_generation_is_deterministic(self):
         a = FaultPlan.generate(seed=5, num_steps=8)
         b = FaultPlan.generate(seed=5, num_steps=8)
         assert a.specs == b.specs
-        assert len(a) == len(FaultKind)
+        assert len(a) == len(STREAM_FAULTS)
 
     def test_steps_in_range_and_counts(self):
         plan = FaultPlan.generate(seed=11, num_steps=6, per_kind=3)
         assert all(1 <= s.step < 6 for s in plan.specs)
         counts = plan.counts()
-        assert set(counts) == {k.value for k in FaultKind}
+        assert set(counts) == {k.value for k in STREAM_FAULTS}
         assert all(v == 3 for v in counts.values())
         assert sum(counts.values()) == len(plan)
+
+    def test_generate_rejects_shard_kinds(self):
+        with pytest.raises(ValueError, match="generate_cluster"):
+            FaultPlan.generate(
+                seed=0, num_steps=4, kinds=[FaultKind.WORKER_CRASH]
+            )
+
+    def test_generate_cluster_covers_every_shard(self):
+        plan = FaultPlan.generate_cluster(seed=9, num_steps=8, num_shards=4)
+        again = FaultPlan.generate_cluster(seed=9, num_steps=8, num_shards=4)
+        assert plan.specs == again.specs
+        assert plan.shards_touched() == frozenset(range(4))
+        assert len(plan) == 4 * len(SHARD_FAULTS)
+        assert all(1 <= s.step < 8 for s in plan.specs)
+        assert all(s.kind in SHARD_FAULTS for s in plan.specs)
+        # every shard gets every shard-level kind at least once
+        for shard in range(4):
+            kinds = {s.kind for s in plan.specs if s.shard == shard}
+            assert kinds == SHARD_FAULTS
+
+    def test_generate_cluster_rejects_stream_kinds(self):
+        with pytest.raises(ValueError, match="shard-level"):
+            FaultPlan.generate_cluster(
+                seed=0, num_steps=4, num_shards=2,
+                kinds=[FaultKind.NAN_FEATURE],
+            )
 
     def test_spec_accessors_partition_the_plan(self):
         plan = FaultPlan.generate(seed=2, num_steps=5)
@@ -68,8 +106,11 @@ class TestFaultPlan:
             FaultPlan.generate(seed=0, num_steps=4, per_kind=0)
 
     def test_kind_partitions_cover_every_kind(self):
-        union = EVENT_FAULTS | SNAPSHOT_FAULTS | ENGINE_FAULTS | STORAGE_FAULTS
-        assert union == frozenset(FaultKind)
+        assert STREAM_FAULTS == (
+            EVENT_FAULTS | SNAPSHOT_FAULTS | ENGINE_FAULTS | STORAGE_FAULTS
+        )
+        assert STREAM_FAULTS | SHARD_FAULTS == frozenset(FaultKind)
+        assert not STREAM_FAULTS & SHARD_FAULTS
 
 
 class TestPoisonFactories:

@@ -178,3 +178,67 @@ class TestWithRetry:
 
         with pytest.raises(KeyError):
             with_retry(bad)
+
+
+class TestRetryTelemetry:
+    """with_retry surfaces attempt counts and backoff into metrics."""
+
+    def test_counters_on_success_path(self):
+        from repro.engine import ExecutionMetrics
+
+        m = ExecutionMetrics()
+        result, delays = with_retry(lambda: 7, metrics=m)
+        assert result == 7
+        assert m.retry_attempts == 1  # one attempt, no retries
+        assert m.retries == 0
+        assert m.retry_backoff_ns == 0
+
+    def test_counters_accumulate_per_failure(self):
+        from repro.engine import ExecutionMetrics
+
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise TransientStorageError("blip")
+            return "ok"
+
+        m = ExecutionMetrics()
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.001, seed=5)
+        _, delays = with_retry(flaky, policy=policy, metrics=m)
+        assert m.retry_attempts == 3  # 2 failures + 1 success
+        assert m.retries == 2
+        expected_ns = sum(int(d * 1e9) for d in delays)
+        assert m.retry_backoff_ns == expected_ns
+        assert m.retry_backoff_ns > 0
+
+    def test_counters_on_exhaustion(self):
+        from repro.engine import ExecutionMetrics
+
+        def always():
+            raise TransientStorageError("down")
+
+        m = ExecutionMetrics()
+        with pytest.raises(RetryExhaustedError):
+            with_retry(
+                always, policy=RetryPolicy(max_attempts=3, seed=2), metrics=m
+            )
+        assert m.retry_attempts == 3
+        assert m.retries == 3
+        assert m.retry_backoff_ns > 0
+
+    def test_telemetry_merges_across_streams(self):
+        from repro.engine import ExecutionMetrics
+
+        a, b = ExecutionMetrics(), ExecutionMetrics()
+        with pytest.raises(RetryExhaustedError):
+            with_retry(
+                lambda: (_ for _ in ()).throw(TransientStorageError("x")),
+                policy=RetryPolicy(max_attempts=2, seed=3),
+                metrics=a,
+            )
+        _, _ = with_retry(lambda: 1, metrics=b)
+        merged = a.merge(b)
+        assert merged.retry_attempts == a.retry_attempts + b.retry_attempts
+        assert merged.retry_backoff_ns == a.retry_backoff_ns

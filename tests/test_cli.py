@@ -113,3 +113,71 @@ class TestGenerate:
         g = load_dynamic_graph(out)
         assert g.num_snapshots == 3
         assert "wrote" in capsys.readouterr().out
+
+
+class TestChaosCluster:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert not args.cluster and not args.smoke
+        assert args.shards == 4 and args.tenants == 1
+        assert args.report_out is None and args.dlq_out is None
+
+    def test_cluster_smoke_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        report = str(tmp_path / "campaign.json")
+        capture = str(tmp_path / "dlq.npz")
+        assert main(
+            ["chaos", "--cluster", "--smoke", "--shards", "2",
+             "--window", "2", "--report-out", report, "--dlq-out", capture]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cluster chaos campaign report" in out
+        assert "bit-identical       : yes" in out
+        with open(report) as fh:
+            blob = json.load(fh)
+        assert blob["identical"] is True and blob["lost"] == 0
+        from repro.resilience import DeadLetterQueue
+
+        DeadLetterQueue.load(capture)  # round-trips
+
+
+class TestDlq:
+    def _capture(self, tmp_path):
+        import numpy as np
+
+        from repro.graphs import load_dataset
+        from repro.graphs.updates import UpdateEvent, UpdateKind
+        from repro.resilience import DeadLetterQueue, GuardedIngest
+
+        g = load_dataset("GT", num_snapshots=4, seed=3)
+        dlq = DeadLetterQueue()
+        guard = GuardedIngest(dlq=dlq)
+        poison = UpdateEvent(
+            UpdateKind.FEATURE_UPDATE, 0,
+            np.full(g.dim, np.nan, dtype=np.float32),
+        )
+        guard.apply(g[0], [poison], step=1)
+        path = tmp_path / "capture.npz"
+        dlq.save(path)
+        return str(path), g
+
+    def test_inspect(self, tmp_path, capsys):
+        path, _ = self._capture(tmp_path)
+        assert main(["dlq", path]) == 0
+        out = capsys.readouterr().out
+        assert "1 dead letters" in out
+        assert "non-finite" in out
+
+    def test_redrain_writes_remainder(self, tmp_path, capsys):
+        path, _ = self._capture(tmp_path)
+        remainder = str(tmp_path / "remainder.npz")
+        assert main(
+            ["dlq", path, "--snapshots", "4", "--redrain",
+             "--out", remainder]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 readmitted" in out and "1 still poison" in out
+        from repro.resilience import DeadLetterQueue
+
+        assert len(DeadLetterQueue.load(remainder)) == 1

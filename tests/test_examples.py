@@ -19,6 +19,7 @@ EXAMPLES = [
     "public_trace_study.py",
     "online_inference.py",
     "chaos_serving.py",
+    "sharded_serving.py",
 ]
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
